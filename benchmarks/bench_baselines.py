@@ -1,0 +1,67 @@
+"""E8 — label-length / round-count comparison against the folklore baselines.
+
+The paper's introduction positions the 2-bit scheme against: unique
+``O(log n)``-bit identifiers (round-robin), ``O(log Δ)``-bit G²-colouring TDMA,
+anonymous bit-signalling under collision detection, and centralised scheduling
+with unbounded advice.  This benchmark regenerates that comparison: label
+width, completion rounds and transmission counts per scheme, and asserts the
+qualitative shape (λ uses the fewest bits among label-based universal schemes;
+the centralised schedule is the fastest; round-robin label width grows with n
+while λ stays at 2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    SweepConfig,
+    format_comparison,
+    format_metrics_table,
+    run_sweep,
+)
+from conftest import report
+
+FAMILIES = ["path", "grid", "gnp_sparse", "geometric", "star"]
+SIZES = [16, 32, 64]
+SCHEMES = ["lambda", "round_robin", "coloring_tdma", "collision_detection", "centralized"]
+
+
+def _sweep():
+    cfg = SweepConfig(families=FAMILIES, sizes=SIZES, schemes=SCHEMES,
+                      seeds_per_size=1, source_rule="zero")
+    return run_sweep(cfg)
+
+
+def bench_baseline_comparison(benchmark):
+    """Full cross-scheme sweep; checks the qualitative ranking the paper argues."""
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    by_key = {}
+    for row in rows:
+        by_key.setdefault((row.family, row.n), {})[row.scheme] = row
+
+    for (family, n), schemes in by_key.items():
+        lam = schemes["lambda"]
+        assert lam.completion_round is not None
+        assert lam.label_bits == 2
+        # Label width: λ beats both label-based baselines on every instance of
+        # size > 4, and the gap grows with n for round-robin.
+        assert schemes["round_robin"].label_bits > lam.label_bits
+        assert schemes["coloring_tdma"].label_bits > lam.label_bits
+        # Every baseline does complete (they are correct, just costlier).
+        for name in ("round_robin", "coloring_tdma", "collision_detection", "centralized"):
+            assert schemes[name].completion_round is not None, (family, n, name)
+        # Unbounded advice is at least as fast as 2 bits of advice.
+        assert schemes["centralized"].completion_round <= lam.completion_round
+
+    # Round-robin label width grows with n; λ stays constant.
+    widths = sorted({(r.n, r.label_bits) for r in rows if r.scheme == "round_robin"})
+    assert widths[0][1] < widths[-1][1]
+
+    report("E8 — per-instance metrics", format_metrics_table(rows))
+    report("E8 — completion-round ratios vs λ",
+           format_comparison([r for r in rows if r.scheme == "lambda"],
+                             [r for r in rows if r.scheme != "lambda"],
+                             field="completion_round"))
+    report("E8 — label-width ratios vs λ",
+           format_comparison([r for r in rows if r.scheme == "lambda"],
+                             [r for r in rows if r.scheme != "lambda"],
+                             field="label_bits"))

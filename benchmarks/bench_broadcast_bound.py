@@ -1,0 +1,56 @@
+"""E2 — Theorem 2.9: λ + B completes within 2n − 3 rounds on every network.
+
+Sweeps the graph families over a range of sizes, reports the measured
+completion round next to the 2n−3 bound and the instance-sharp 2ℓ−3 value,
+and asserts the bound never fails.  The path family from an endpoint is the
+worst case and must meet the bound with equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SweepConfig, format_table, run_sweep
+from repro.core import run_broadcast
+from repro.graphs import path_graph
+from conftest import report
+
+FAMILIES = ["path", "cycle", "star", "grid", "binary_tree", "random_tree",
+            "gnp_sparse", "gnp_dense", "geometric", "hypercube"]
+SIZES = [16, 32, 64, 128]
+
+
+def _sweep_rows():
+    cfg = SweepConfig(families=FAMILIES, sizes=SIZES, schemes=["lambda"],
+                      seeds_per_size=1, source_rule="zero")
+    return run_sweep(cfg)
+
+
+def bench_theorem_2_9_bound_sweep(benchmark):
+    """Measure completion round vs. the 2n−3 bound across families and sizes."""
+    rows = benchmark.pedantic(_sweep_rows, rounds=1, iterations=1)
+    assert rows
+    for row in rows:
+        assert row.completion_round is not None, row.family
+        assert row.completion_round <= max(1, 2 * row.n - 3), row.family
+
+    table = [
+        {
+            "family": r.family,
+            "n": r.n,
+            "ecc(source)": r.source_eccentricity,
+            "completion": r.completion_round,
+            "bound 2n-3": max(1, 2 * r.n - 3),
+            "slack": max(1, 2 * r.n - 3) - r.completion_round,
+        }
+        for r in rows
+    ]
+    report("E2 / Theorem 2.9 — completion round vs bound", format_table(table))
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def bench_worst_case_path_is_tight(benchmark, n):
+    """The path from an endpoint realises the bound exactly: 2n − 3 rounds."""
+    graph = path_graph(n)
+    outcome = benchmark(run_broadcast, graph, 0)
+    assert outcome.completion_round == 2 * n - 3

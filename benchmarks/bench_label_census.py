@@ -1,0 +1,60 @@
+"""E5 — Fact 3.1 and scheme-size census: which labels each scheme actually uses.
+
+The paper states that λ has length 2 (≤ 4 distinct labels), λ_ack length 3 but
+only 5 distinct labels (101, 111, 011 never occur — Fact 3.1), and λ_arb
+length 3 with 6 distinct labels.  This benchmark takes a census of the labels
+produced across families and sizes and asserts those counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis import format_table
+from repro.core import (
+    FORBIDDEN_ACK_LABELS,
+    lambda_ack_scheme,
+    lambda_arb_scheme,
+    lambda_scheme,
+)
+from repro.graphs import generate_family
+from conftest import report
+
+FAMILIES = ["path", "cycle", "star", "grid", "random_tree", "gnp_sparse", "gnp_dense",
+            "geometric", "hypercube"]
+SIZES = [12, 24, 48, 96]
+
+
+def _census():
+    usage = {"lambda": Counter(), "lambda_ack": Counter(), "lambda_arb": Counter()}
+    for family in FAMILIES:
+        for n in SIZES:
+            graph = generate_family(family, n, seed=3)
+            usage["lambda"].update(lambda_scheme(graph, 0).labels.values())
+            usage["lambda_ack"].update(lambda_ack_scheme(graph, 0).labels.values())
+            usage["lambda_arb"].update(lambda_arb_scheme(graph).labels.values())
+    return usage
+
+
+def bench_label_census(benchmark):
+    """Count distinct labels per scheme over the whole sweep."""
+    usage = benchmark.pedantic(_census, rounds=1, iterations=1)
+
+    assert set(usage["lambda"]) <= {"00", "01", "10", "11"}
+    assert len(usage["lambda"]) <= 4
+    # Fact 3.1: the forbidden 3-bit labels never occur under λ_ack.
+    assert not (set(usage["lambda_ack"]) & set(FORBIDDEN_ACK_LABELS))
+    assert len(usage["lambda_ack"]) <= 5
+    # λ_arb adds only the reserved coordinator label 111.
+    assert set(usage["lambda_arb"]) - set(usage["lambda_ack"]) <= {"111"}
+    assert len(usage["lambda_arb"]) <= 6
+
+    rows = []
+    for scheme, counter in usage.items():
+        rows.append({
+            "scheme": scheme,
+            "length (bits)": max(len(k) for k in counter),
+            "distinct labels": len(counter),
+            "labels used": " ".join(f"{k}:{v}" for k, v in sorted(counter.items())),
+        })
+    report("E5 / Fact 3.1 — label census across all families and sizes", format_table(rows))

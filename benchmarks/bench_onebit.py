@@ -1,0 +1,92 @@
+"""E9 — Section 5: shorter-than-2-bit schemes for special graph classes.
+
+The conclusion claims 1-bit schemes exist for graphs of source radius ≤ 2, for
+series-parallel graphs and for grid graphs, and notes the general 1-bit
+question is open.  The constructive sketch in the paper is too terse to
+reimplement verbatim, so this benchmark validates the *feasibility claims*
+directly (see EXPERIMENTS.md for the substitution note):
+
+* exhaustive search over 1-bit labelings under the paper's own Algorithm B
+  finds a working assignment for every small instance of those classes;
+* trees are handled by the label-free echo-flood scheme (zero bits of advice);
+* the 4-cycle (not radius ≤ 2 from its source? it is, actually — radius 2)
+  still needs at least one bit, confirming the lower end.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import run_tree_flood, search_minimum_labels
+from repro.graphs import (
+    cycle_graph,
+    grid_graph,
+    random_series_parallel_graph,
+    random_tree,
+    star_graph,
+    two_level_star,
+    wheel_graph,
+)
+from conftest import report
+
+ONE_BIT_CASES = [
+    ("grid 2x3", grid_graph(2, 3), 0),
+    ("grid 2x4", grid_graph(2, 4), 0),
+    ("grid 3x3", grid_graph(3, 3), 0),
+    ("series-parallel n=7", random_series_parallel_graph(7, seed=2), 0),
+    ("series-parallel n=9", random_series_parallel_graph(9, seed=4), 0),
+    ("radius-2: wheel W8", wheel_graph(8), 0),
+    ("radius-2: two-level star", two_level_star(3, 2), 0),
+    ("cycle C4", cycle_graph(4), 0),
+    ("cycle C6", cycle_graph(6), 0),
+]
+
+
+def _search_all():
+    rows = []
+    for name, graph, source in ONE_BIT_CASES:
+        result = search_minimum_labels(graph, source, max_bits=2, attempt_budget=300_000)
+        rows.append((name, graph, result))
+    return rows
+
+
+def bench_one_bit_feasibility(benchmark):
+    """Search for minimum label width on the conclusion's special classes."""
+    results = benchmark.pedantic(_search_all, rounds=1, iterations=1)
+    table = []
+    for name, graph, result in results:
+        assert result.width is not None, f"{name}: 2 bits must always succeed (Theorem 2.9)"
+        assert result.width <= 2
+        # The conclusion's claim: at most 1 bit for these special classes.
+        assert result.width <= 1, f"{name}: expected a 1-bit scheme to exist"
+        table.append({
+            "graph": name,
+            "n": graph.n,
+            "min label width (bits)": result.width,
+            "completion round": result.completion_round,
+            "assignments tried": result.attempts,
+        })
+    report("E9 / §5 — 1-bit feasibility on special classes (search under Algorithm B)",
+           format_table(table))
+
+
+def bench_tree_flood_zero_bits(benchmark):
+    """Trees broadcast with zero bits of advice via echo flooding."""
+    def run_all():
+        rows = []
+        for n in (15, 31, 63, 127):
+            tree = random_tree(n, seed=n)
+            sim = run_tree_flood(tree, 0)
+            rows.append({"tree size": n,
+                         "completion round": sim.trace.broadcast_completion_round(),
+                         "transmissions": sim.trace.total_transmissions()})
+        star = star_graph(64)
+        sim = run_tree_flood(star, 0)
+        rows.append({"tree size": "star-64",
+                     "completion round": sim.trace.broadcast_completion_round(),
+                     "transmissions": sim.trace.total_transmissions()})
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for row in rows:
+        assert row["completion round"] is not None
+    report("E9b / §5 — label-free broadcast on trees", format_table(rows))

@@ -1,0 +1,82 @@
+"""E10 — Section 5: the algorithm runs in O(n) rounds; scheme construction cost.
+
+The paper notes that the algorithms are not optimised for time and run in
+O(n) rounds.  This benchmark measures (a) how the completion round grows with
+n for the worst-case path and for "good" families (where it tracks the source
+eccentricity rather than n), and (b) the cost of computing the labeling scheme
+itself as n grows (the sequence construction is the dominant part).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import build_sequences, lambda_scheme, run_broadcast
+from repro.graphs import generate_family, path_graph
+from conftest import report
+
+SIZES = [32, 64, 128, 256, 512]
+
+
+def _round_growth():
+    rows = []
+    for family in ("path", "grid", "gnp_sparse", "geometric"):
+        for n in SIZES:
+            graph = generate_family(family, n, seed=1)
+            outcome = run_broadcast(graph, 0)
+            rows.append({
+                "family": family,
+                "n": graph.n,
+                "ecc(source)": None,
+                "completion": outcome.completion_round,
+                "completion / n": round(outcome.completion_round / graph.n, 3),
+            })
+    return rows
+
+
+def bench_completion_round_growth(benchmark):
+    """Completion rounds stay ≤ 2n−3 and scale with eccentricity on good families."""
+    rows = benchmark.pedantic(_round_growth, rounds=1, iterations=1)
+    for row in rows:
+        assert row["completion"] <= 2 * row["n"] - 3
+    # On the path the ratio tends to 2; on dense random graphs it collapses.
+    path_ratios = [r["completion / n"] for r in rows if r["family"] == "path"]
+    gnp_ratios = [r["completion / n"] for r in rows if r["family"] == "gnp_sparse"]
+    assert min(path_ratios) > 1.5
+    assert max(gnp_ratios) < 1.0
+    report("E10 — completion-round growth with n (O(n) overall, O(ℓ) per instance)",
+           format_table(rows))
+
+
+@pytest.mark.parametrize("n", [64, 256, 512])
+def bench_labeling_construction_cost_path(benchmark, n):
+    """Time λ construction on the worst-case path (ℓ = n stages)."""
+    graph = path_graph(n)
+    labeling = benchmark(lambda_scheme, graph, 0)
+    assert labeling.length == 2
+
+
+@pytest.mark.parametrize("family", ["gnp_sparse", "geometric", "grid"])
+def bench_labeling_construction_cost_families(benchmark, family):
+    """Time λ construction on 256-node instances of the main random families."""
+    graph = generate_family(family, 256, seed=2)
+    labeling = benchmark(lambda_scheme, graph, 0)
+    assert labeling.length == 2
+
+
+@pytest.mark.parametrize("n", [128, 512])
+def bench_sequence_construction_only(benchmark, n):
+    """Time the raw Section 2.1 sequence construction."""
+    graph = generate_family("gnp_sparse", n, seed=4)
+    seq = benchmark(build_sequences, graph, 0)
+    assert seq.ell <= graph.n
+
+
+@pytest.mark.parametrize("n", [128, 512])
+def bench_simulation_only(benchmark, n):
+    """Time one Algorithm B execution with a precomputed labeling."""
+    graph = generate_family("geometric", n, seed=6)
+    labeling = lambda_scheme(graph, 0)
+    outcome = benchmark(run_broadcast, graph, 0, labeling=labeling)
+    assert outcome.completed

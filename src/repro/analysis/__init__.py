@@ -1,0 +1,53 @@
+"""Metrics, theoretical bounds, sweeps and report tables."""
+
+from .bounds import (
+    PaperBounds,
+    ack_round_window,
+    broadcast_round_bound,
+    broadcast_round_bound_sharp,
+    coloring_label_bits,
+    distinct_label_bound,
+    round_robin_label_bits,
+    scheme_length_bound,
+)
+from .metrics import (
+    RunMetrics,
+    aggregate,
+    message_bits_total,
+    metrics_from_baseline,
+    metrics_from_outcome,
+    per_round_transmitter_counts,
+)
+from .report import format_comparison, format_metrics_table, format_table
+from .sweep import (
+    SCHEME_RUNNERS,
+    SweepConfig,
+    SweepInstance,
+    generate_instances,
+    run_sweep,
+)
+
+__all__ = [
+    "PaperBounds",
+    "RunMetrics",
+    "SCHEME_RUNNERS",
+    "SweepConfig",
+    "SweepInstance",
+    "ack_round_window",
+    "aggregate",
+    "broadcast_round_bound",
+    "broadcast_round_bound_sharp",
+    "coloring_label_bits",
+    "distinct_label_bound",
+    "format_comparison",
+    "format_metrics_table",
+    "format_table",
+    "generate_instances",
+    "message_bits_total",
+    "metrics_from_baseline",
+    "metrics_from_outcome",
+    "per_round_transmitter_counts",
+    "round_robin_label_bits",
+    "run_sweep",
+    "scheme_length_bound",
+]

@@ -1,0 +1,102 @@
+"""Theoretical bounds from the paper, as plain functions.
+
+Having the bounds as code (rather than inlined constants scattered through the
+tests) keeps every experiment's "paper says / we measured" comparison in one
+place:
+
+* Theorem 2.9 — λ + B informs everyone within ``2n − 3`` rounds; the sharper
+  instance-specific bound is ``2ℓ − 3``.
+* Theorem 3.9 / Corollary 3.8 — λ_ack + B_ack delivers the ack to the source
+  in the window ``[2ℓ − 2, 3ℓ − 4]``.
+* Scheme lengths — λ: 2 bits (≤ 4 distinct labels), λ_ack: 3 bits (≤ 5
+  distinct labels), λ_arb: 3 bits (≤ 6 distinct labels).
+* Baseline label lengths — ``⌈log₂ n⌉``-bit identifiers, ``O(log Δ)``-bit
+  square colourings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "broadcast_round_bound",
+    "broadcast_round_bound_sharp",
+    "ack_round_window",
+    "scheme_length_bound",
+    "distinct_label_bound",
+    "round_robin_label_bits",
+    "coloring_label_bits",
+    "PaperBounds",
+]
+
+
+def broadcast_round_bound(n: int) -> int:
+    """Theorem 2.9: all nodes informed within ``2n − 3`` rounds (≥ 1)."""
+    return max(1, 2 * n - 3)
+
+
+def broadcast_round_bound_sharp(ell: int) -> int:
+    """Instance-sharp version: all nodes informed within ``2ℓ − 3`` rounds."""
+    return max(1, 2 * ell - 3)
+
+
+def ack_round_window(ell: int) -> tuple[int, int]:
+    """Corollary 3.8: the source hears an ack in a round of ``[2ℓ−2, 3ℓ−4]``."""
+    return (max(1, 2 * ell - 2), max(1, 3 * ell - 4))
+
+
+def scheme_length_bound(scheme: str) -> int:
+    """Label length (bits) of each of the paper's schemes."""
+    lengths = {"lambda": 2, "lambda_ack": 3, "lambda_arb": 3}
+    try:
+        return lengths[scheme]
+    except KeyError:
+        raise ValueError(f"unknown scheme {scheme!r}") from None
+
+
+def distinct_label_bound(scheme: str) -> int:
+    """Number of distinct labels each scheme may use (paper's conclusion)."""
+    counts = {"lambda": 4, "lambda_ack": 5, "lambda_arb": 6}
+    try:
+        return counts[scheme]
+    except KeyError:
+        raise ValueError(f"unknown scheme {scheme!r}") from None
+
+
+def round_robin_label_bits(n: int) -> int:
+    """Label length of the round-robin baseline: identifier plus network size."""
+    if n <= 1:
+        return 2
+    return 2 * math.ceil(math.log2(n))
+
+
+def coloring_label_bits(num_colours: int) -> int:
+    """Label length of the G²-colouring baseline: colour plus colour count."""
+    if num_colours <= 1:
+        return 2
+    return 2 * math.ceil(math.log2(num_colours))
+
+
+@dataclass(frozen=True)
+class PaperBounds:
+    """All bounds relevant to one (graph, source) instance, bundled for reports."""
+
+    n: int
+    ell: Optional[int] = None
+
+    @property
+    def broadcast(self) -> int:
+        """Theorem 2.9 bound."""
+        return broadcast_round_bound(self.n)
+
+    @property
+    def broadcast_sharp(self) -> Optional[int]:
+        """2ℓ − 3 when ℓ is known."""
+        return broadcast_round_bound_sharp(self.ell) if self.ell is not None else None
+
+    @property
+    def ack_window(self) -> Optional[tuple[int, int]]:
+        """Corollary 3.8 window when ℓ is known."""
+        return ack_round_window(self.ell) if self.ell is not None else None

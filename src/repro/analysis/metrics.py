@@ -1,0 +1,140 @@
+"""Metrics extracted from executions, in a report-friendly flat form.
+
+Everything the benchmark tables print is computed here, from either a
+:class:`~repro.core.runner.BroadcastOutcome` (the paper's schemes) or a
+:class:`~repro.baselines.base.BaselineOutcome` (the comparison schemes), so
+that the two kinds of run share one schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import BaselineOutcome
+from ..core.runner import BroadcastOutcome
+from ..graphs.graph import Graph
+from ..graphs.properties import source_radius
+from ..radio.messages import message_size_bits
+from ..radio.trace import ExecutionTrace
+
+__all__ = [
+    "RunMetrics",
+    "metrics_from_outcome",
+    "metrics_from_baseline",
+    "message_bits_total",
+    "per_round_transmitter_counts",
+    "aggregate",
+]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """One row of a results table."""
+
+    scheme: str
+    family: str
+    n: int
+    source_eccentricity: int
+    label_bits: int
+    distinct_labels: int
+    completion_round: Optional[int]
+    bound: Optional[int]
+    acknowledgement_round: Optional[int]
+    transmissions: int
+    collisions: int
+    total_message_bits: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view for the report renderer."""
+        return asdict(self)
+
+    @property
+    def within_bound(self) -> Optional[bool]:
+        """True/False when both the completion round and the bound are known."""
+        if self.completion_round is None or self.bound is None:
+            return None
+        return self.completion_round <= self.bound
+
+
+def message_bits_total(trace: ExecutionTrace, source_payload_bits: int = 32) -> int:
+    """Total bits put on the channel over the execution (paper's accounting)."""
+    total = 0
+    for record in trace.rounds:
+        for msg in record.transmissions.values():
+            total += message_size_bits(msg, source_payload_bits=source_payload_bits)
+    return total
+
+
+def per_round_transmitter_counts(trace: ExecutionTrace) -> np.ndarray:
+    """Vector of transmitter counts per round (length = number of rounds)."""
+    return np.array([r.num_transmitters for r in trace.rounds], dtype=np.int64)
+
+
+def metrics_from_outcome(
+    graph: Graph,
+    outcome: BroadcastOutcome,
+    *,
+    family: str = "unknown",
+    source: Optional[int] = None,
+) -> RunMetrics:
+    """Flatten a paper-scheme outcome into a :class:`RunMetrics` row."""
+    src = source if source is not None else outcome.labeling.source
+    if src is None:
+        src = outcome.extras.get("coordinator", 0)
+    ecc = source_radius(graph, src) if graph.n > 0 else 0
+    return RunMetrics(
+        scheme=outcome.labeling.scheme,
+        family=family,
+        n=graph.n,
+        source_eccentricity=ecc,
+        label_bits=outcome.labeling.length,
+        distinct_labels=outcome.labeling.num_distinct_labels(),
+        completion_round=outcome.completion_round,
+        bound=outcome.bound_broadcast,
+        acknowledgement_round=outcome.acknowledgement_round,
+        transmissions=outcome.total_transmissions,
+        collisions=outcome.total_collisions,
+        total_message_bits=message_bits_total(outcome.trace),
+    )
+
+
+def metrics_from_baseline(
+    graph: Graph,
+    outcome: BaselineOutcome,
+    *,
+    family: str = "unknown",
+    source: int = 0,
+) -> RunMetrics:
+    """Flatten a baseline outcome into a :class:`RunMetrics` row."""
+    ecc = source_radius(graph, source) if graph.n > 0 else 0
+    return RunMetrics(
+        scheme=outcome.name,
+        family=family,
+        n=graph.n,
+        source_eccentricity=ecc,
+        label_bits=outcome.label_length_bits,
+        distinct_labels=outcome.num_distinct_labels,
+        completion_round=outcome.completion_round,
+        bound=None,
+        acknowledgement_round=None,
+        transmissions=outcome.total_transmissions,
+        collisions=outcome.total_collisions,
+        total_message_bits=message_bits_total(outcome.simulation.trace),
+    )
+
+
+def aggregate(rows: Sequence[RunMetrics], field: str) -> Dict[str, float]:
+    """Mean / min / max of a numeric field across rows (``None`` values skipped)."""
+    values = [getattr(r, field) for r in rows if getattr(r, field) is not None]
+    if not values:
+        return {"mean": float("nan"), "min": float("nan"), "max": float("nan"), "count": 0}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "count": int(arr.size),
+    }

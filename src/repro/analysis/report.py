@@ -1,0 +1,101 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same kind of rows/series the paper's claims
+describe (completion round vs. bound, label length vs. baseline label length,
+who wins and by what factor), formatted as aligned monospace tables so they
+read well in CI logs and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_metrics_table", "format_comparison"]
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body = [[_cell(row.get(c)) for c in cols] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(cols))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(cols))))
+    for r in body:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def format_metrics_table(metrics: Sequence, *, title: Optional[str] = None) -> str:
+    """Render a sequence of :class:`~repro.analysis.metrics.RunMetrics` rows."""
+    rows = [m.as_dict() for m in metrics]
+    columns = [
+        "scheme",
+        "family",
+        "n",
+        "source_eccentricity",
+        "label_bits",
+        "distinct_labels",
+        "completion_round",
+        "bound",
+        "acknowledgement_round",
+        "transmissions",
+        "collisions",
+    ]
+    return format_table(rows, columns, title=title)
+
+
+def format_comparison(
+    reference_rows: Sequence,
+    baseline_rows: Sequence,
+    *,
+    field: str = "completion_round",
+    title: Optional[str] = None,
+) -> str:
+    """Side-by-side comparison of a numeric field, grouped by (family, n).
+
+    Produces one row per (family, n) with a column per scheme plus the ratio
+    of every baseline to the reference scheme (the paper's λ).
+    """
+    grouped: Dict[tuple, Dict[str, Any]] = {}
+    for row in list(reference_rows) + list(baseline_rows):
+        key = (row.family, row.n)
+        grouped.setdefault(key, {"family": row.family, "n": row.n})
+        grouped[key][row.scheme] = getattr(row, field)
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(grouped):
+        entry = grouped[key]
+        ref_values = [v for k, v in entry.items() if k not in ("family", "n") and k.startswith("lambda")]
+        ref = ref_values[0] if ref_values else None
+        out = dict(entry)
+        if ref:
+            for scheme, value in list(entry.items()):
+                if scheme in ("family", "n") or scheme.startswith("lambda"):
+                    continue
+                if isinstance(value, (int, float)) and value:
+                    out[f"{scheme}/λ"] = round(value / ref, 2)
+        rows.append(out)
+    columns = sorted({c for r in rows for c in r}, key=lambda c: (c not in ("family", "n"), c))
+    return format_table(rows, columns, title=title)

@@ -1,0 +1,164 @@
+"""Parameter sweeps: the workload generator behind every benchmark table.
+
+A sweep runs one or more schemes over a grid of (graph family, size, seed,
+source) combinations and returns the flat metric rows the report renderer and
+the benchmark assertions consume.  Sweeps are deterministic: the seed of every
+instance is derived from the sweep seed, the family name and the size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..baselines import (
+    run_centralized_schedule,
+    run_coloring_tdma,
+    run_collision_detection_broadcast,
+    run_round_robin,
+)
+from ..core.runner import (
+    run_acknowledged_broadcast,
+    run_arbitrary_source_broadcast,
+    run_broadcast,
+)
+from ..graphs.generators import generate_family
+from ..graphs.graph import Graph
+from ..graphs.random import derive_seed
+from .metrics import RunMetrics, metrics_from_baseline, metrics_from_outcome
+
+__all__ = ["SweepConfig", "SweepInstance", "generate_instances", "run_sweep", "SCHEME_RUNNERS"]
+
+
+@dataclass(frozen=True)
+class SweepInstance:
+    """One (graph, source) workload instance of a sweep."""
+
+    family: str
+    n: int
+    seed: int
+    source: int
+    graph: Graph
+
+
+@dataclass
+class SweepConfig:
+    """Declarative description of a sweep.
+
+    Attributes
+    ----------
+    families:
+        Graph family names (keys of :data:`repro.graphs.generators.FAMILIES`).
+    sizes:
+        Requested node counts (families may round to feasible sizes).
+    seeds_per_size:
+        Number of random instances per (family, size) cell.
+    schemes:
+        Scheme names to run; see :data:`SCHEME_RUNNERS`.
+    source_rule:
+        ``"zero"`` (node 0), ``"last"`` (node n−1) or ``"center-ish"``
+        (node n // 2).
+    base_seed:
+        Root seed from which all instance seeds are derived.
+    """
+
+    families: Sequence[str]
+    sizes: Sequence[int]
+    seeds_per_size: int = 1
+    schemes: Sequence[str] = ("lambda",)
+    source_rule: str = "zero"
+    base_seed: int = 2019
+
+
+def _pick_source(graph: Graph, rule: str) -> int:
+    if rule == "zero":
+        return 0
+    if rule == "last":
+        return graph.n - 1
+    if rule == "center-ish":
+        return graph.n // 2
+    raise ValueError(f"unknown source rule {rule!r}")
+
+
+def generate_instances(config: SweepConfig) -> List[SweepInstance]:
+    """Materialise every workload instance described by ``config``."""
+    instances: List[SweepInstance] = []
+    for family in config.families:
+        for size in config.sizes:
+            for rep in range(config.seeds_per_size):
+                seed = derive_seed(config.base_seed, hash(family) & 0xFFFF, size, rep)
+                graph = generate_family(family, size, seed)
+                source = _pick_source(graph, config.source_rule)
+                instances.append(
+                    SweepInstance(family=family, n=graph.n, seed=seed, source=source, graph=graph)
+                )
+    return instances
+
+
+def _run_lambda(instance: SweepInstance) -> RunMetrics:
+    outcome = run_broadcast(instance.graph, instance.source)
+    return metrics_from_outcome(instance.graph, outcome, family=instance.family,
+                                source=instance.source)
+
+
+def _run_lambda_ack(instance: SweepInstance) -> RunMetrics:
+    outcome = run_acknowledged_broadcast(instance.graph, instance.source)
+    return metrics_from_outcome(instance.graph, outcome, family=instance.family,
+                                source=instance.source)
+
+
+def _run_lambda_arb(instance: SweepInstance) -> RunMetrics:
+    coordinator = 0 if instance.source != 0 else instance.graph.n - 1
+    outcome = run_arbitrary_source_broadcast(
+        instance.graph, true_source=instance.source, coordinator=coordinator
+    )
+    return metrics_from_outcome(instance.graph, outcome, family=instance.family,
+                                source=instance.source)
+
+
+def _run_round_robin(instance: SweepInstance) -> RunMetrics:
+    outcome = run_round_robin(instance.graph, instance.source)
+    return metrics_from_baseline(instance.graph, outcome, family=instance.family,
+                                 source=instance.source)
+
+
+def _run_coloring(instance: SweepInstance) -> RunMetrics:
+    outcome = run_coloring_tdma(instance.graph, instance.source)
+    return metrics_from_baseline(instance.graph, outcome, family=instance.family,
+                                 source=instance.source)
+
+
+def _run_collision_detection(instance: SweepInstance) -> RunMetrics:
+    outcome = run_collision_detection_broadcast(instance.graph, instance.source)
+    return metrics_from_baseline(instance.graph, outcome, family=instance.family,
+                                 source=instance.source)
+
+
+def _run_centralized(instance: SweepInstance) -> RunMetrics:
+    outcome = run_centralized_schedule(instance.graph, instance.source)
+    return metrics_from_baseline(instance.graph, outcome, family=instance.family,
+                                 source=instance.source)
+
+
+#: Scheme name → callable(SweepInstance) -> RunMetrics.
+SCHEME_RUNNERS: Dict[str, Callable[[SweepInstance], RunMetrics]] = {
+    "lambda": _run_lambda,
+    "lambda_ack": _run_lambda_ack,
+    "lambda_arb": _run_lambda_arb,
+    "round_robin": _run_round_robin,
+    "coloring_tdma": _run_coloring,
+    "collision_detection": _run_collision_detection,
+    "centralized": _run_centralized,
+}
+
+
+def run_sweep(config: SweepConfig) -> List[RunMetrics]:
+    """Run every configured scheme over every instance and return all rows."""
+    unknown = [s for s in config.schemes if s not in SCHEME_RUNNERS]
+    if unknown:
+        raise ValueError(f"unknown schemes {unknown}; known: {sorted(SCHEME_RUNNERS)}")
+    rows: List[RunMetrics] = []
+    for instance in generate_instances(config):
+        for scheme in config.schemes:
+            rows.append(SCHEME_RUNNERS[scheme](instance))
+    return rows

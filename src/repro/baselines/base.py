@@ -1,0 +1,100 @@
+"""Common infrastructure for the baseline broadcast schemes.
+
+The paper's introduction positions the 2-bit result against the classical
+alternatives:
+
+* with **distinct ``O(log n)``-bit labels**, round-robin broadcast always works;
+* with a **proper colouring of G²** (``O(log Δ)``-bit labels), a TDMA schedule
+  avoids all collisions;
+* with **collision detection**, broadcast is trivially feasible even with no
+  labels at all (bit signalling through silence vs. noise);
+* with **complete topology knowledge**, a centralised schedule can be
+  precomputed (unbounded advice).
+
+Each baseline in this package produces a labeling, a node factory for the
+radio simulator, and a :class:`BaselineOutcome` with the metrics the benchmark
+tables compare: label length, completion round, number of transmissions and
+collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..graphs.graph import Graph
+from ..radio.engine import SimulationResult
+
+__all__ = ["BaselineOutcome"]
+
+
+@dataclass
+class BaselineOutcome:
+    """Result of running one baseline scheme on one (graph, source) instance.
+
+    Attributes
+    ----------
+    name:
+        Baseline identifier (``"round_robin"``, ``"coloring_tdma"``, …).
+    label_length_bits:
+        Length of the labeling scheme (max label length over nodes), in bits.
+    num_distinct_labels:
+        Number of distinct labels the scheme assigned.
+    completion_round:
+        Round by which every node was informed, or ``None`` on failure.
+    simulation:
+        The underlying simulator result (trace + nodes).
+    extras:
+        Baseline-specific details (e.g. number of colours, bits per symbol).
+    """
+
+    name: str
+    label_length_bits: int
+    num_distinct_labels: int
+    completion_round: Optional[int]
+    simulation: SimulationResult
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        """True iff every node heard the source message."""
+        return self.completion_round is not None
+
+    @property
+    def total_transmissions(self) -> int:
+        """Total transmissions over the execution."""
+        return self.simulation.trace.total_transmissions()
+
+    @property
+    def total_collisions(self) -> int:
+        """Total (node, round) collision events over the execution."""
+        return self.simulation.trace.total_collisions()
+
+    def summary_row(self) -> Dict[str, Any]:
+        """Flat dict used by the report tables."""
+        return {
+            "scheme": self.name,
+            "label_bits": self.label_length_bits,
+            "distinct_labels": self.num_distinct_labels,
+            "rounds": self.completion_round,
+            "transmissions": self.total_transmissions,
+            "collisions": self.total_collisions,
+        }
+
+
+def int_to_bits(value: int, width: int) -> str:
+    """Fixed-width big-endian binary encoding of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"cannot encode negative value {value}")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return format(value, f"0{width}b")
+
+
+def bits_needed(count: int) -> int:
+    """Number of bits needed to encode values ``0 .. count-1`` (at least 1)."""
+    if count <= 1:
+        return 1
+    return (count - 1).bit_length()

@@ -1,0 +1,158 @@
+"""Command-line interface: run the paper's pipeline without writing Python.
+
+Installed as ``python -m repro`` (see :mod:`repro.__main__`).  Subcommands:
+
+* ``label``      — compute λ / λ_ack / λ_arb for a graph and print the labels;
+* ``broadcast``  — label and simulate one broadcast, print the outcome and the
+  Figure-1 style rendering;
+* ``figure1``    — print the Figure 1 reproduction;
+* ``sweep``      — run a scheme/family sweep and print the comparison table.
+
+Graphs are specified either as a generator expression ``family:n[:seed]``
+(e.g. ``grid:25``, ``geometric:60:7``) or as a path to an edge-list file
+produced by :func:`repro.graphs.save_edge_list`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .analysis import SweepConfig, format_metrics_table, run_sweep
+from .core import (
+    lambda_ack_scheme,
+    lambda_arb_scheme,
+    lambda_scheme,
+    run_acknowledged_broadcast,
+    run_arbitrary_source_broadcast,
+    run_broadcast,
+    verify_broadcast_outcome,
+)
+from .graphs import Graph, family_names, generate_family, load_edge_list
+from .viz import figure1_report, render_labeled_layers, transmit_receive_maps
+
+__all__ = ["main", "build_parser", "parse_graph_spec"]
+
+
+def parse_graph_spec(spec: str) -> Graph:
+    """Parse ``family:n[:seed]`` or an edge-list file path into a graph."""
+    if Path(spec).exists():
+        return load_edge_list(spec)
+    parts = spec.split(":")
+    if len(parts) not in (2, 3) or parts[0] not in family_names():
+        raise argparse.ArgumentTypeError(
+            f"graph spec {spec!r} is neither an existing file nor 'family:n[:seed]' "
+            f"with family in {family_names()}"
+        )
+    n = int(parts[1])
+    seed = int(parts[2]) if len(parts) == 3 else 0
+    return generate_family(parts[0], n, seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    label = sub.add_parser("label", help="compute a labeling scheme and print the labels")
+    label.add_argument("graph", type=parse_graph_spec)
+    label.add_argument("--scheme", choices=["lambda", "lambda_ack", "lambda_arb"],
+                       default="lambda")
+    label.add_argument("--source", type=int, default=0)
+
+    bcast = sub.add_parser("broadcast", help="label a graph and simulate one broadcast")
+    bcast.add_argument("graph", type=parse_graph_spec)
+    bcast.add_argument("--scheme", choices=["lambda", "lambda_ack", "lambda_arb"],
+                       default="lambda")
+    bcast.add_argument("--source", type=int, default=0)
+    bcast.add_argument("--payload", default="MSG")
+    bcast.add_argument("--render", action="store_true",
+                       help="print the Figure-1 style annotated layers")
+
+    sub.add_parser("figure1", help="print the Figure 1 reproduction")
+
+    sweep = sub.add_parser("sweep", help="run a scheme/family sweep and print the table")
+    sweep.add_argument("--families", nargs="+", default=["path", "grid", "gnp_sparse"])
+    sweep.add_argument("--sizes", nargs="+", type=int, default=[16, 32])
+    sweep.add_argument("--schemes", nargs="+", default=["lambda", "round_robin"])
+    sweep.add_argument("--seeds-per-size", type=int, default=1)
+
+    return parser
+
+
+def _cmd_label(args) -> int:
+    graph = args.graph
+    if args.scheme == "lambda":
+        lab = lambda_scheme(graph, args.source)
+    elif args.scheme == "lambda_ack":
+        lab = lambda_ack_scheme(graph, args.source)
+    else:
+        lab = lambda_arb_scheme(graph, coordinator=args.source)
+    print(f"# scheme={lab.scheme} length={lab.length} bits "
+          f"distinct={lab.num_distinct_labels()}")
+    for v in graph.nodes():
+        print(f"{v} {lab.labels[v]}")
+    return 0
+
+
+def _cmd_broadcast(args) -> int:
+    graph = args.graph
+    if args.scheme == "lambda":
+        outcome = run_broadcast(graph, args.source, payload=args.payload)
+    elif args.scheme == "lambda_ack":
+        outcome = run_acknowledged_broadcast(graph, args.source, payload=args.payload)
+    else:
+        outcome = run_arbitrary_source_broadcast(graph, true_source=args.source,
+                                                 payload=args.payload)
+    print(f"graph: {graph.summary()}")
+    print(f"scheme: {outcome.labeling.scheme} ({outcome.labeling.length} bits)")
+    print(f"completion round: {outcome.completion_round} (bound {outcome.bound_broadcast})")
+    if outcome.acknowledgement_round is not None:
+        print(f"acknowledgement round: {outcome.acknowledgement_round}")
+    if outcome.common_completion_round is not None:
+        print(f"common completion round: {outcome.common_completion_round}")
+    violations = verify_broadcast_outcome(graph, outcome)
+    print(f"verification: {'PASS' if not violations else violations}")
+    if args.render:
+        tx, rx = transmit_receive_maps(outcome.trace)
+        source = args.source if outcome.labeling.source is not None else (
+            outcome.labeling.coordinator or 0
+        )
+        print(render_labeled_layers(graph, source, outcome.labeling.labels,
+                                    transmit_rounds=tx, receive_rounds=rx))
+    return 0 if not violations else 1
+
+
+def _cmd_figure1(args) -> int:
+    result = figure1_report()
+    print(result.rendering)
+    print(f"labels: {sorted(result.labeling.label_histogram().items())}")
+    print(f"completion round: {result.completion_round}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    cfg = SweepConfig(families=args.families, sizes=args.sizes, schemes=args.schemes,
+                      seeds_per_size=args.seeds_per_size)
+    rows = run_sweep(cfg)
+    print(format_metrics_table(rows, title="sweep results"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "label": _cmd_label,
+        "broadcast": _cmd_broadcast,
+        "figure1": _cmd_figure1,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

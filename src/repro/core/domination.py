@@ -1,0 +1,150 @@
+"""Minimal dominating subsets.
+
+The heart of the Section 2.1 construction is step 4: *"Define DOM_i to be a
+minimal subset of DOM_{i-1} ∪ NEW_{i-1} that dominates all nodes in
+FRONTIER_i."*  "Minimal" is inclusion-minimality: removing any node breaks
+domination.  Minimality — not minimum cardinality — is what the correctness
+argument needs (Lemma 2.4 uses it to guarantee progress), so any minimal
+subset works; which one is chosen only affects the constant factors of the
+message count and the tie-breaking of labels.
+
+This module provides two deterministic strategies plus the verification
+predicates used by the tests:
+
+* :func:`prune_to_minimal` — start from the full candidate set and repeatedly
+  drop redundant nodes (smallest index first).  Matches the paper most
+  literally.
+* :func:`greedy_minimal_dominating_subset` — greedy set-cover pass (pick the
+  candidate covering the most uncovered targets) followed by a pruning pass to
+  restore inclusion-minimality.  Produces much smaller dominating sets on
+  dense graphs, which the ablation benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+
+from ..graphs.graph import Graph, GraphError
+
+__all__ = [
+    "dominates",
+    "is_minimal_dominating_subset",
+    "prune_to_minimal",
+    "greedy_minimal_dominating_subset",
+    "minimal_dominating_subset",
+    "DOMINATION_STRATEGIES",
+]
+
+
+def dominates(graph: Graph, dominators: Iterable[int], targets: Iterable[int]) -> bool:
+    """True if every target node has at least one neighbour among ``dominators``."""
+    dom = set(dominators)
+    return all(bool(graph.neighbors(t) & dom) for t in targets)
+
+
+def is_minimal_dominating_subset(
+    graph: Graph, subset: Iterable[int], candidates: Iterable[int], targets: Iterable[int]
+) -> bool:
+    """Check the three defining properties of DOM_i.
+
+    ``subset`` must (a) be contained in ``candidates``, (b) dominate
+    ``targets``, and (c) be inclusion-minimal: removing any single node breaks
+    domination.
+    """
+    subset = set(subset)
+    candidates = set(candidates)
+    targets = set(targets)
+    if not subset <= candidates:
+        return False
+    if not dominates(graph, subset, targets):
+        return False
+    for v in subset:
+        if dominates(graph, subset - {v}, targets):
+            return False
+    return True
+
+
+def prune_to_minimal(
+    graph: Graph, candidates: Iterable[int], targets: Iterable[int]
+) -> FrozenSet[int]:
+    """Shrink ``candidates`` to an inclusion-minimal subset dominating ``targets``.
+
+    Deterministic: candidates are considered for removal in increasing index
+    order, and a candidate is removed iff the remaining set still dominates all
+    targets.  Raises :class:`~repro.graphs.graph.GraphError` if the full
+    candidate set does not dominate the targets in the first place (the
+    paper's Lemma 2.5 guarantees it always does in the construction).
+    """
+    cand = set(candidates)
+    targets = list(dict.fromkeys(targets))
+    if not dominates(graph, cand, targets):
+        raise GraphError("candidate set does not dominate the target set")
+    if not targets:
+        return frozenset()
+    # cover_count[t] = number of candidate dominators adjacent to t
+    cover_count: Dict[int, int] = {t: len(graph.neighbors(t) & cand) for t in targets}
+    targets_of: Dict[int, List[int]] = {
+        c: [t for t in targets if c in graph.neighbors(t)] for c in cand
+    }
+    keep = set(cand)
+    for c in sorted(cand):
+        # c is redundant iff every target it covers is covered by another kept node.
+        if all(cover_count[t] >= 2 for t in targets_of[c]):
+            keep.discard(c)
+            for t in targets_of[c]:
+                cover_count[t] -= 1
+    # Drop kept candidates that cover no targets at all (vacuously removable).
+    keep = {c for c in keep if targets_of[c]}
+    return frozenset(keep)
+
+
+def greedy_minimal_dominating_subset(
+    graph: Graph, candidates: Iterable[int], targets: Iterable[int]
+) -> FrozenSet[int]:
+    """Greedy set-cover selection followed by a minimality-restoring prune.
+
+    Ties are broken by smallest node index, so the result is deterministic.
+    """
+    cand = set(candidates)
+    target_list = list(dict.fromkeys(targets))
+    if not dominates(graph, cand, target_list):
+        raise GraphError("candidate set does not dominate the target set")
+    uncovered: Set[int] = set(target_list)
+    chosen: Set[int] = set()
+    coverage: Dict[int, Set[int]] = {
+        c: set(t for t in target_list if c in graph.neighbors(t)) for c in cand
+    }
+    while uncovered:
+        best = max(sorted(cand - chosen), key=lambda c: len(coverage[c] & uncovered))
+        gain = len(coverage[best] & uncovered)
+        if gain == 0:
+            # Should be unreachable because the full candidate set dominates.
+            raise GraphError("greedy selection stalled; candidates do not cover targets")
+        chosen.add(best)
+        uncovered -= coverage[best]
+    # Greedy choice is usually minimal already, but prune defensively so the
+    # result always satisfies the paper's definition.
+    return prune_to_minimal(graph, chosen, target_list)
+
+
+def minimal_dominating_subset(
+    graph: Graph,
+    candidates: Iterable[int],
+    targets: Iterable[int],
+    strategy: str = "prune",
+) -> FrozenSet[int]:
+    """Dispatch to the named domination strategy (``"prune"`` or ``"greedy"``)."""
+    try:
+        fn = DOMINATION_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown domination strategy {strategy!r}; known: {sorted(DOMINATION_STRATEGIES)}"
+        ) from None
+    return fn(graph, candidates, targets)
+
+
+#: Registry of deterministic strategies for choosing DOM_i.
+DOMINATION_STRATEGIES = {
+    "prune": prune_to_minimal,
+    "greedy": greedy_minimal_dominating_subset,
+}

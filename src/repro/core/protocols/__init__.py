@@ -1,0 +1,17 @@
+"""Universal deterministic protocols: Algorithm B, B_ack and B_arb."""
+
+from .acknowledged import AcknowledgedBroadcastNode, make_acknowledged_node
+from .arbitrary import ArbitrarySourceNode, COORDINATOR_LABEL, make_arbitrary_node
+from .base import UniversalNode
+from .broadcast import BroadcastNode, make_broadcast_node
+
+__all__ = [
+    "AcknowledgedBroadcastNode",
+    "ArbitrarySourceNode",
+    "BroadcastNode",
+    "COORDINATOR_LABEL",
+    "UniversalNode",
+    "make_acknowledged_node",
+    "make_arbitrary_node",
+    "make_broadcast_node",
+]

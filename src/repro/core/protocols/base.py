@@ -1,0 +1,71 @@
+"""Shared machinery for the paper's universal protocols.
+
+All three algorithms (B, B_ack, B_arb) are *universal*: a node's behaviour may
+depend only on its label and on the messages it has heard, never on the
+topology, the network size, or its identifier.  :class:`UniversalNode` factors
+out the bookkeeping they share — parsing the label bits and remembering when
+the source message was first received — while leaving the per-round decision
+to subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...radio.messages import Message
+from ...radio.node import RadioNode
+from ..labels import Label
+
+__all__ = ["UniversalNode"]
+
+
+class UniversalNode(RadioNode):
+    """Base class for the paper's protocol nodes.
+
+    Tracks the two pieces of state every algorithm in the paper relies on:
+
+    * ``sourcemsg`` — the payload µ once known (the source starts with it);
+    * ``informed_local_round`` — the local round in which µ was *first*
+      received (``None`` for the source, which never receives it).
+    """
+
+    def __init__(self, node_id: int, label: str, *, is_source: bool = False,
+                 source_payload: Any = None) -> None:
+        super().__init__(node_id, label, is_source=is_source, source_payload=source_payload)
+        self.bits = Label.from_string(label)
+        self.sourcemsg: Any = source_payload if is_source else None
+        self.informed_local_round: Optional[int] = None
+        self.informed_stamp: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by the concrete protocols
+    # ------------------------------------------------------------------ #
+    @property
+    def knows_source_message(self) -> bool:
+        """True once the node holds µ (initially true only at the source)."""
+        return self.sourcemsg is not None
+
+    def record_source_receipt(self, local_round: int, message: Message) -> None:
+        """Store µ and remember when (and with which stamp) it first arrived."""
+        if self.sourcemsg is None:
+            self.sourcemsg = message.payload
+            self.informed_local_round = local_round
+            self.informed_stamp = message.round_stamp
+
+    def first_received_in(self, local_round: int) -> bool:
+        """True if µ was first received exactly in the given local round."""
+        return self.informed_local_round == local_round
+
+    def heard_kind_in(self, local_round: int, kind: str) -> Optional[Message]:
+        """The message of the given kind heard in ``local_round``, if any."""
+        msg = self.heard_in(local_round)
+        if msg is not None and msg.kind == kind:
+            return msg
+        return None
+
+    def sent_kind_in(self, local_round: int, kind: str) -> Optional[Message]:
+        """The message of the given kind transmitted in ``local_round``, if any."""
+        msg = self.sent_in(local_round)
+        if msg is not None and msg.kind == kind:
+            return msg
+        return None

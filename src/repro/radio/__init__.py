@@ -1,0 +1,69 @@
+"""Round-synchronous radio-network simulator (the paper's §1.1 model).
+
+Public surface::
+
+    from repro.radio import RadioSimulator, run_protocol, Message, RadioNode
+"""
+
+from .clock import ClockModel, OffsetClocks, SynchronizedClocks, random_offsets
+from .collision import CollisionModel, NoCollisionDetection, WithCollisionDetection
+from .engine import NodeFactory, RadioSimulator, SimulationResult, run_protocol
+from .faults import (
+    CompositeFaults,
+    CrashFaults,
+    FaultModel,
+    NoFaults,
+    TransmissionDropFaults,
+)
+from .messages import (
+    ACK,
+    INITIALIZE,
+    Message,
+    READY,
+    SOURCE,
+    STAY,
+    ack_message,
+    initialize_message,
+    message_size_bits,
+    ready_message,
+    source_message,
+    stay_message,
+)
+from .node import HistoryEntry, RadioNode, SilentNode
+from .trace import ExecutionTrace, RoundRecord
+
+__all__ = [
+    "ACK",
+    "INITIALIZE",
+    "READY",
+    "SOURCE",
+    "STAY",
+    "ClockModel",
+    "CollisionModel",
+    "CompositeFaults",
+    "CrashFaults",
+    "ExecutionTrace",
+    "FaultModel",
+    "HistoryEntry",
+    "Message",
+    "NoCollisionDetection",
+    "NoFaults",
+    "NodeFactory",
+    "OffsetClocks",
+    "RadioNode",
+    "RadioSimulator",
+    "RoundRecord",
+    "SilentNode",
+    "SimulationResult",
+    "SynchronizedClocks",
+    "TransmissionDropFaults",
+    "WithCollisionDetection",
+    "ack_message",
+    "initialize_message",
+    "message_size_bits",
+    "random_offsets",
+    "ready_message",
+    "run_protocol",
+    "source_message",
+    "stay_message",
+]

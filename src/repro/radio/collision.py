@@ -1,0 +1,85 @@
+"""Collision semantics of the radio channel.
+
+The paper's default model has **no collision detection**: when two or more
+neighbours of a listening node transmit in the same round, the node hears
+nothing and cannot distinguish that from silence.  The introduction notes that
+*with* collision detection broadcast is trivially feasible even in anonymous
+networks, which is exactly the baseline implemented in
+:mod:`repro.baselines.collision_detection`; to support it the simulator can be
+run with :class:`WithCollisionDetection`.
+
+A collision model maps the multiset of messages arriving at a listener to what
+the listener perceives: ``(heard_message_or_None, collision_detected_flag)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+from .messages import Message
+
+__all__ = ["CollisionModel", "NoCollisionDetection", "WithCollisionDetection"]
+
+
+class CollisionModel(ABC):
+    """Strategy object deciding what a listening node perceives."""
+
+    #: Whether nodes running under this model may rely on a collision signal.
+    provides_detection: bool = False
+
+    @abstractmethod
+    def perceive(self, arriving: Sequence[Message]) -> Tuple[Optional[Message], bool]:
+        """Resolve the messages arriving at a listener.
+
+        Parameters
+        ----------
+        arriving:
+            Messages transmitted this round by the listener's neighbours
+            (order is by transmitter node index; the model must not depend on
+            the order beyond determinism).
+
+        Returns
+        -------
+        tuple
+            ``(heard, collision_detected)`` where ``heard`` is the message the
+            node receives (or ``None``) and ``collision_detected`` indicates a
+            perceptible collision.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__ + "()"
+
+
+class NoCollisionDetection(CollisionModel):
+    """The paper's model: a node hears a message iff exactly one neighbour transmits.
+
+    Collisions are indistinguishable from background noise.
+    """
+
+    provides_detection = False
+
+    def perceive(self, arriving: Sequence[Message]) -> Tuple[Optional[Message], bool]:
+        """Deliver the unique message, or nothing at all."""
+        if len(arriving) == 1:
+            return arriving[0], False
+        return None, False
+
+
+class WithCollisionDetection(CollisionModel):
+    """Extension model: collisions are perceptibly different from silence.
+
+    A listening node whose neighbourhood has two or more transmitters receives
+    no message but observes a collision indicator.  Used only by the
+    bit-signalling baseline; never by the paper's core algorithms.
+    """
+
+    provides_detection = True
+
+    def perceive(self, arriving: Sequence[Message]) -> Tuple[Optional[Message], bool]:
+        """Deliver the unique message, or flag a collision when there are ≥ 2."""
+        if len(arriving) == 1:
+            return arriving[0], False
+        if len(arriving) >= 2:
+            return None, True
+        return None, False

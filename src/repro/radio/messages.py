@@ -1,0 +1,158 @@
+"""Message taxonomy for the radio-network simulator.
+
+The paper's algorithms use a tiny message vocabulary:
+
+* the *source message* µ itself (Algorithm B),
+* a constant-size ``"stay"`` control message (Algorithm B),
+* an ``"ack"`` message carrying a round number (Algorithm B_ack),
+* ``"initialize"`` and ``"ready"`` control messages (Algorithm B_arb, §4).
+
+Messages transmitted by B_ack / B_arb additionally piggyback an
+``O(log n)``-bit round stamp that implements the global clock (§1.1).  We model
+every transmission as an immutable :class:`Message` with a ``kind``, an
+optional ``payload`` and an optional integer ``round_stamp``; the
+:func:`message_size_bits` helper charges each message the number of bits the
+paper accounts for, so the benchmark harness can report message-size overhead
+faithfully.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = [
+    "Message",
+    "SOURCE",
+    "STAY",
+    "ACK",
+    "INITIALIZE",
+    "READY",
+    "source_message",
+    "stay_message",
+    "ack_message",
+    "initialize_message",
+    "ready_message",
+    "message_size_bits",
+]
+
+# Message kinds (string constants so traces render readably).
+SOURCE = "source"
+STAY = "stay"
+ACK = "ack"
+INITIALIZE = "initialize"
+READY = "ready"
+
+_KNOWN_KINDS = frozenset({SOURCE, STAY, ACK, INITIALIZE, READY})
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable radio transmission.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`SOURCE`, :data:`STAY`, :data:`ACK`, :data:`INITIALIZE`,
+        :data:`READY`.
+    payload:
+        The application payload.  For :data:`SOURCE` messages this is the
+        source message µ; for :data:`ACK` messages in B_arb it may carry µ or
+        the timestamp T; otherwise usually ``None``.
+    round_stamp:
+        The round-number annotation used by B_ack / B_arb to implement a global
+        clock, or ``None`` for plain Algorithm B messages.
+    """
+
+    kind: str
+    payload: Any = None
+    round_stamp: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KNOWN_KINDS:
+            raise ValueError(f"unknown message kind {self.kind!r}; known kinds: {sorted(_KNOWN_KINDS)}")
+        if self.round_stamp is not None and self.round_stamp < 0:
+            raise ValueError(f"round_stamp must be non-negative, got {self.round_stamp}")
+
+    # Convenience predicates — protocols read much better with these.
+    @property
+    def is_source(self) -> bool:
+        """True if this carries the source message µ."""
+        return self.kind == SOURCE
+
+    @property
+    def is_stay(self) -> bool:
+        """True for the constant-size "stay" control message."""
+        return self.kind == STAY
+
+    @property
+    def is_ack(self) -> bool:
+        """True for acknowledgement messages."""
+        return self.kind == ACK
+
+    @property
+    def is_initialize(self) -> bool:
+        """True for B_arb phase-1 "initialize" messages."""
+        return self.kind == INITIALIZE
+
+    @property
+    def is_ready(self) -> bool:
+        """True for B_arb phase-2 "ready" messages."""
+        return self.kind == READY
+
+    def with_stamp(self, round_stamp: int) -> "Message":
+        """Return a copy carrying the given round stamp."""
+        return Message(kind=self.kind, payload=self.payload, round_stamp=round_stamp)
+
+    def __str__(self) -> str:
+        stamp = f", t={self.round_stamp}" if self.round_stamp is not None else ""
+        payload = f", payload={self.payload!r}" if self.payload is not None else ""
+        return f"<{self.kind}{payload}{stamp}>"
+
+
+def source_message(payload: Any, round_stamp: Optional[int] = None) -> Message:
+    """Build a message carrying the source message µ."""
+    return Message(SOURCE, payload=payload, round_stamp=round_stamp)
+
+
+def stay_message(round_stamp: Optional[int] = None) -> Message:
+    """Build the constant-size "stay" control message."""
+    return Message(STAY, round_stamp=round_stamp)
+
+
+def ack_message(round_stamp: int, payload: Any = None) -> Message:
+    """Build an acknowledgement message carrying the informing round number."""
+    return Message(ACK, payload=payload, round_stamp=round_stamp)
+
+
+def initialize_message(round_stamp: Optional[int] = None) -> Message:
+    """Build the B_arb phase-1 "initialize" message."""
+    return Message(INITIALIZE, round_stamp=round_stamp)
+
+
+def ready_message(timestamp: int, round_stamp: Optional[int] = None) -> Message:
+    """Build the B_arb phase-2 "ready" message carrying the timestamp T."""
+    return Message(READY, payload=timestamp, round_stamp=round_stamp)
+
+
+def message_size_bits(message: Message, source_payload_bits: int = 0) -> int:
+    """Number of bits the paper charges for transmitting ``message``.
+
+    * Source messages cost the payload size (``source_payload_bits``).
+    * "stay"/"initialize"/"ready"/"ack" control markers cost a constant 2 bits
+      (there are at most four control kinds plus the source marker).
+    * A round stamp adds ``ceil(log2(stamp + 2))`` bits, matching the paper's
+      O(log n) accounting for the global-clock annotation.
+    """
+    bits = source_payload_bits if message.is_source else 2
+    if message.round_stamp is not None:
+        bits += max(1, math.ceil(math.log2(message.round_stamp + 2)))
+    if message.is_ready or (message.is_ack and message.payload is not None):
+        # READY carries the timestamp T; the B_arb ack may carry µ or T.
+        extra = message.payload
+        if isinstance(extra, int):
+            bits += max(1, math.ceil(math.log2(abs(extra) + 2)))
+        else:
+            bits += source_payload_bits
+    return bits

@@ -1,0 +1,180 @@
+"""Per-node protocol interface for the round-synchronous radio model.
+
+A *universal* algorithm in the paper's sense is a deterministic rule that maps
+a node's history — its label plus the sequence of messages it has heard so far
+— to a decision (transmit a particular message, or listen) in each round.  The
+:class:`RadioNode` base class enforces exactly that information regime:
+
+* a node knows its own ``node_id`` only for bookkeeping (traces, metrics); the
+  shipped protocols never read it when deciding — universality tests in
+  ``tests/test_universality.py`` verify this by running the same protocols with
+  permuted identifiers and shifted local clocks;
+* a node sees its **local** round counter, which may be offset from the global
+  round by an arbitrary per-node constant (the paper's "round numbers refer to
+  the local time at the source");
+* a node that transmits in a round hears nothing in that round; a listening
+  node hears a message iff exactly one neighbour transmitted (collision ⇒
+  silence, unless the collision-detection variant is enabled).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from .messages import Message
+
+__all__ = ["HistoryEntry", "RadioNode", "SilentNode"]
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One round of a node's history.
+
+    Attributes
+    ----------
+    local_round:
+        The node's local round counter when the event happened.
+    sent:
+        The message the node transmitted, or ``None`` if it listened.
+    heard:
+        The message the node heard, or ``None`` (silence or undetected
+        collision).
+    collision_detected:
+        Only ever ``True`` when the simulator runs with collision detection
+        enabled; always ``False`` in the paper's default model.
+    """
+
+    local_round: int
+    sent: Optional[Message]
+    heard: Optional[Message]
+    collision_detected: bool = False
+
+
+class RadioNode(ABC):
+    """Base class for per-node radio protocols.
+
+    Subclasses implement :meth:`decide` (what to do this round) and may
+    override :meth:`on_receive` to update internal state when a message is
+    heard.  The engine drives the following cycle every round:
+
+    1. ``decide(local_round)`` is called on every node simultaneously; a return
+       value of ``None`` means *listen*, a :class:`Message` means *transmit*.
+    2. The engine resolves collisions and calls ``deliver(...)`` on every node
+       with what (if anything) it heard.
+
+    The base class records the full history (the paper allows the decision to
+    depend on the entire history) and exposes the convenience accessors the
+    shipped protocols need.
+    """
+
+    def __init__(self, node_id: int, label: str, *, is_source: bool = False,
+                 source_payload: Any = None) -> None:
+        if is_source and source_payload is None:
+            raise ValueError("the source node must be given a source payload")
+        self.node_id = node_id
+        self.label = label
+        self.is_source = is_source
+        self.history: List[HistoryEntry] = []
+        self._ever_sent = False
+        self._ever_heard = False
+
+    # ------------------------------------------------------------------ #
+    # protocol hooks
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def decide(self, local_round: int) -> Optional[Message]:
+        """Return the message to transmit this round, or ``None`` to listen."""
+
+    def on_receive(self, local_round: int, message: Message) -> None:
+        """Hook invoked when the node hears ``message`` (exactly one transmitter)."""
+
+    def on_collision(self, local_round: int) -> None:
+        """Hook invoked on a detected collision (collision-detection model only)."""
+
+    def on_silence(self, local_round: int) -> None:
+        """Hook invoked when the node listens and hears nothing."""
+
+    # ------------------------------------------------------------------ #
+    # engine-facing plumbing (do not override)
+    # ------------------------------------------------------------------ #
+    def deliver(
+        self,
+        local_round: int,
+        sent: Optional[Message],
+        heard: Optional[Message],
+        collision_detected: bool = False,
+    ) -> None:
+        """Record this round's outcome and dispatch the appropriate hook."""
+        self.history.append(
+            HistoryEntry(
+                local_round=local_round,
+                sent=sent,
+                heard=heard,
+                collision_detected=collision_detected,
+            )
+        )
+        if sent is not None:
+            self._ever_sent = True
+            return  # a transmitting node hears nothing in the same round
+        if heard is not None:
+            self._ever_heard = True
+            self.on_receive(local_round, heard)
+        elif collision_detected:
+            self.on_collision(local_round)
+        else:
+            self.on_silence(local_round)
+
+    # ------------------------------------------------------------------ #
+    # history accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def ever_sent(self) -> bool:
+        """True if the node has transmitted in any past round."""
+        return self._ever_sent
+
+    @property
+    def ever_heard(self) -> bool:
+        """True if the node has heard any message in any past round."""
+        return self._ever_heard
+
+    @property
+    def ever_communicated(self) -> bool:
+        """True if the node has sent or received any message (the paper's
+        "never sent or received a message" guard, negated)."""
+        return self._ever_sent or self._ever_heard
+
+    def sent_in(self, local_round: int) -> Optional[Message]:
+        """The message this node transmitted in the given local round, if any."""
+        for entry in reversed(self.history):
+            if entry.local_round == local_round:
+                return entry.sent
+        return None
+
+    def heard_in(self, local_round: int) -> Optional[Message]:
+        """The message this node heard in the given local round, if any."""
+        for entry in reversed(self.history):
+            if entry.local_round == local_round:
+                return entry.heard
+        return None
+
+    def rounds_heard(self) -> List[Tuple[int, Message]]:
+        """All ``(local_round, message)`` pairs the node has heard, in order."""
+        return [(e.local_round, e.heard) for e in self.history if e.heard is not None]
+
+    def rounds_sent(self) -> List[Tuple[int, Message]]:
+        """All ``(local_round, message)`` pairs the node has transmitted, in order."""
+        return [(e.local_round, e.sent) for e in self.history if e.sent is not None]
+
+    def __repr__(self) -> str:
+        role = "source" if self.is_source else "node"
+        return f"{type(self).__name__}({role} {self.node_id}, label={self.label!r})"
+
+
+class SilentNode(RadioNode):
+    """A node that never transmits — useful as a baseline and in tests."""
+
+    def decide(self, local_round: int) -> Optional[Message]:
+        """Always listen."""
+        return None

@@ -1,0 +1,255 @@
+"""Execution traces: the complete round-by-round record of a simulation.
+
+Everything downstream of the simulator — metrics, bound verification, the
+Lemma 2.8 characterisation checks, the Figure 1 renderer — operates on an
+:class:`ExecutionTrace` rather than poking into node objects.  A trace is a
+pure value: it can be compared, serialised and replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .messages import Message
+
+__all__ = ["RoundRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything that happened in one global round.
+
+    Attributes
+    ----------
+    round_number:
+        Global (source-local) round number, starting at 1.
+    transmissions:
+        Mapping transmitter node → message it put on the channel.  Includes
+        only transmissions that survived fault injection.
+    receptions:
+        Mapping listener node → message it actually heard (exactly one
+        transmitting neighbour).
+    collisions:
+        Set of listening nodes with two or more transmitting neighbours.
+    suppressed:
+        Transmissions decided by nodes but dropped by the fault model, mapping
+        node → message (empty with :class:`~repro.radio.faults.NoFaults`).
+    """
+
+    round_number: int
+    transmissions: Mapping[int, Message]
+    receptions: Mapping[int, Message]
+    collisions: FrozenSet[int]
+    suppressed: Mapping[int, Message] = field(default_factory=dict)
+
+    @property
+    def num_transmitters(self) -> int:
+        """Number of nodes that transmitted this round."""
+        return len(self.transmissions)
+
+    @property
+    def num_receivers(self) -> int:
+        """Number of nodes that heard a message this round."""
+        return len(self.receptions)
+
+    @property
+    def is_silent(self) -> bool:
+        """True if nobody transmitted this round."""
+        return not self.transmissions
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered list of :class:`RoundRecord` plus graph/protocol metadata."""
+
+    num_nodes: int
+    source: Optional[int]
+    rounds: List[RoundRecord] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # building
+    # ------------------------------------------------------------------ #
+    def append(self, record: RoundRecord) -> None:
+        """Append the next round's record (round numbers must be consecutive)."""
+        expected = self.num_rounds + 1
+        if record.round_number != expected:
+            raise ValueError(
+                f"expected round {expected}, got record for round {record.round_number}"
+            )
+        self.rounds.append(record)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds recorded so far."""
+        return len(self.rounds)
+
+    def record(self, round_number: int) -> RoundRecord:
+        """The record for a 1-indexed round number."""
+        if not (1 <= round_number <= self.num_rounds):
+            raise IndexError(f"round {round_number} not in 1..{self.num_rounds}")
+        return self.rounds[round_number - 1]
+
+    def __iter__(self):
+        return iter(self.rounds)
+
+    def __len__(self) -> int:
+        return self.num_rounds
+
+    # ------------------------------------------------------------------ #
+    # derived per-node views
+    # ------------------------------------------------------------------ #
+    def transmit_rounds(self, node: int) -> List[int]:
+        """Rounds in which ``node`` transmitted (any message kind)."""
+        return [r.round_number for r in self.rounds if node in r.transmissions]
+
+    def receive_rounds(self, node: int) -> List[int]:
+        """Rounds in which ``node`` heard a message (any kind)."""
+        return [r.round_number for r in self.rounds if node in r.receptions]
+
+    def collision_rounds(self, node: int) -> List[int]:
+        """Rounds in which ``node`` experienced a collision."""
+        return [r.round_number for r in self.rounds if node in r.collisions]
+
+    def messages_heard(self, node: int) -> List[Tuple[int, Message]]:
+        """All ``(round, message)`` pairs heard by ``node``."""
+        return [
+            (r.round_number, r.receptions[node]) for r in self.rounds if node in r.receptions
+        ]
+
+    def messages_sent(self, node: int) -> List[Tuple[int, Message]]:
+        """All ``(round, message)`` pairs transmitted by ``node``."""
+        return [
+            (r.round_number, r.transmissions[node]) for r in self.rounds if node in r.transmissions
+        ]
+
+    # ------------------------------------------------------------------ #
+    # broadcast-specific summaries
+    # ------------------------------------------------------------------ #
+    def first_source_receipt(self, node: int) -> Optional[int]:
+        """First round in which ``node`` heard a message carrying µ, or ``None``.
+
+        Both plain :data:`~repro.radio.messages.SOURCE` messages and ack
+        messages that carry µ as payload count, because B_arb distributes µ via
+        the acknowledgement chain in its phase 2.
+        """
+        for r in self.rounds:
+            msg = r.receptions.get(node)
+            if msg is not None and msg.is_source:
+                return r.round_number
+        return None
+
+    def informed_nodes(self) -> Set[int]:
+        """Nodes that have heard µ at least once (the source is always counted)."""
+        informed: Set[int] = set()
+        if self.source is not None:
+            informed.add(self.source)
+        for r in self.rounds:
+            for node, msg in r.receptions.items():
+                if msg.is_source:
+                    informed.add(node)
+        return informed
+
+    def informed_by_round(self) -> Dict[int, int]:
+        """Mapping node → first round it heard µ (source omitted)."""
+        first: Dict[int, int] = {}
+        for r in self.rounds:
+            for node, msg in r.receptions.items():
+                if msg.is_source and node not in first:
+                    first[node] = r.round_number
+        return first
+
+    def broadcast_completion_round(self) -> Optional[int]:
+        """First round after which every non-source node has heard µ, or ``None``.
+
+        Only meaningful when :attr:`source` is set.
+        """
+        if self.source is None:
+            return None
+        pending = set(range(self.num_nodes)) - {self.source}
+        for r in self.rounds:
+            for node, msg in r.receptions.items():
+                if msg.is_source:
+                    pending.discard(node)
+            if not pending:
+                return r.round_number
+        return None
+
+    def first_ack_at(self, node: int) -> Optional[int]:
+        """First round in which ``node`` heard an ack message, or ``None``."""
+        for r in self.rounds:
+            msg = r.receptions.get(node)
+            if msg is not None and msg.is_ack:
+                return r.round_number
+        return None
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    def total_transmissions(self) -> int:
+        """Total number of transmissions across all rounds."""
+        return sum(r.num_transmitters for r in self.rounds)
+
+    def total_collisions(self) -> int:
+        """Total number of (node, round) collision events."""
+        return sum(len(r.collisions) for r in self.rounds)
+
+    def transmissions_by_kind(self) -> Dict[str, int]:
+        """Histogram of transmitted message kinds."""
+        hist: Dict[str, int] = {}
+        for r in self.rounds:
+            for msg in r.transmissions.values():
+                hist[msg.kind] = hist.get(msg.kind, 0) + 1
+        return hist
+
+    # ------------------------------------------------------------------ #
+    # serialization (for regression fixtures)
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Serialise the trace to JSON (payloads are stringified)."""
+        doc = {
+            "num_nodes": self.num_nodes,
+            "source": self.source,
+            "metadata": {k: str(v) for k, v in self.metadata.items()},
+            "rounds": [
+                {
+                    "round": r.round_number,
+                    "transmissions": {
+                        str(u): _msg_doc(m) for u, m in sorted(r.transmissions.items())
+                    },
+                    "receptions": {
+                        str(u): _msg_doc(m) for u, m in sorted(r.receptions.items())
+                    },
+                    "collisions": sorted(r.collisions),
+                }
+                for r in self.rounds
+            ],
+        }
+        return json.dumps(doc, indent=2)
+
+    def summary(self) -> str:
+        """Multi-line human readable summary of the execution."""
+        lines = [
+            f"ExecutionTrace: {self.num_nodes} nodes, source={self.source}, "
+            f"{self.num_rounds} rounds",
+            f"  total transmissions: {self.total_transmissions()}",
+            f"  total collisions:    {self.total_collisions()}",
+            f"  informed nodes:      {len(self.informed_nodes())}/{self.num_nodes}",
+        ]
+        completion = self.broadcast_completion_round()
+        if completion is not None:
+            lines.append(f"  broadcast complete in round {completion}")
+        return "\n".join(lines)
+
+
+def _msg_doc(message: Message) -> Dict[str, Any]:
+    return {
+        "kind": message.kind,
+        "payload": None if message.payload is None else str(message.payload),
+        "round_stamp": message.round_stamp,
+    }

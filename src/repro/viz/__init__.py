@@ -1,0 +1,18 @@
+"""ASCII visualisation of graphs, labelings and executions (incl. Figure 1)."""
+
+from .ascii_graph import render_adjacency, render_label_histogram, render_labeled_layers
+from .figure1 import FIGURE1_SOURCE, Figure1Result, figure1_graph, figure1_report
+from .trace_render import render_node_timelines, render_round_table, transmit_receive_maps
+
+__all__ = [
+    "FIGURE1_SOURCE",
+    "Figure1Result",
+    "figure1_graph",
+    "figure1_report",
+    "render_adjacency",
+    "render_label_histogram",
+    "render_labeled_layers",
+    "render_node_timelines",
+    "render_round_table",
+    "transmit_receive_maps",
+]

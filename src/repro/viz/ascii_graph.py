@@ -1,0 +1,68 @@
+"""ASCII rendering of graphs, labelings and BFS-layer layouts.
+
+The paper's Figure 1 draws the example network with each node annotated by its
+2-bit label, the rounds in which it transmits (curly braces) and the rounds in
+which it receives a message (parentheses).  These helpers produce the same
+kind of annotation in plain text, layer by layer from the source, for any
+graph and any execution trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import bfs_layers
+
+__all__ = ["render_adjacency", "render_labeled_layers", "render_label_histogram"]
+
+
+def render_adjacency(graph: Graph, labels: Optional[Mapping[int, str]] = None) -> str:
+    """One line per node: ``node [label]: sorted neighbours``."""
+    lines: List[str] = []
+    for v in graph.nodes():
+        label = f" [{labels[v]}]" if labels and v in labels else ""
+        nbrs = " ".join(str(u) for u in sorted(graph.neighbors(v)))
+        lines.append(f"{v:>4}{label}: {nbrs}")
+    return "\n".join(lines)
+
+
+def render_labeled_layers(
+    graph: Graph,
+    source: int,
+    labels: Mapping[int, str],
+    *,
+    transmit_rounds: Optional[Mapping[int, Sequence[int]]] = None,
+    receive_rounds: Optional[Mapping[int, Sequence[int]]] = None,
+) -> str:
+    """Figure-1 style rendering: one row per BFS layer from the source.
+
+    Each node is printed as ``id:label{transmit rounds}(receive rounds)``,
+    matching the annotation convention of the paper's Figure 1.
+    """
+    layers = bfs_layers(graph, source)
+    lines: List[str] = []
+    for depth, layer in enumerate(layers):
+        cells: List[str] = []
+        for v in layer:
+            cell = f"{v}:{labels.get(v, '?')}"
+            if transmit_rounds is not None:
+                tr = ",".join(str(r) for r in transmit_rounds.get(v, []))
+                cell += "{" + tr + "}"
+            if receive_rounds is not None:
+                rr = ",".join(str(r) for r in receive_rounds.get(v, []))
+                cell += "(" + rr + ")"
+            cells.append(cell)
+        prefix = "source" if depth == 0 else f"dist {depth}"
+        lines.append(f"{prefix:>8}: " + "   ".join(cells))
+    return "\n".join(lines)
+
+
+def render_label_histogram(labels: Mapping[int, str]) -> str:
+    """Histogram of label usage, one line per distinct label."""
+    hist: Dict[str, int] = {}
+    for lab in labels.values():
+        hist[lab] = hist.get(lab, 0) + 1
+    width = max((len(k) for k in hist), default=1)
+    lines = [f"{k.ljust(width)}  {'#' * v} ({v})" for k, v in sorted(hist.items())]
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Round-by-round rendering of execution traces."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..radio.trace import ExecutionTrace
+
+__all__ = ["render_round_table", "render_node_timelines", "transmit_receive_maps"]
+
+
+def render_round_table(trace: ExecutionTrace, *, max_rounds: Optional[int] = None) -> str:
+    """One line per round: transmitters (with message kinds), receivers, collisions."""
+    lines = ["round  transmitters                      receivers            collisions"]
+    limit = trace.num_rounds if max_rounds is None else min(max_rounds, trace.num_rounds)
+    for record in trace.rounds[:limit]:
+        tx = ", ".join(f"{v}:{m.kind}" for v, m in sorted(record.transmissions.items()))
+        rx = ", ".join(f"{v}" for v in sorted(record.receptions))
+        col = ", ".join(str(v) for v in sorted(record.collisions))
+        lines.append(f"{record.round_number:>5}  {tx:<33} {rx:<20} {col}")
+    if limit < trace.num_rounds:
+        lines.append(f"... ({trace.num_rounds - limit} more rounds)")
+    return "\n".join(lines)
+
+
+def transmit_receive_maps(trace: ExecutionTrace) -> tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+    """Per-node transmit-round and receive-round lists (Figure 1's annotations)."""
+    transmit: Dict[int, List[int]] = {v: [] for v in range(trace.num_nodes)}
+    receive: Dict[int, List[int]] = {v: [] for v in range(trace.num_nodes)}
+    for record in trace.rounds:
+        for v in record.transmissions:
+            transmit[v].append(record.round_number)
+        for v in record.receptions:
+            receive[v].append(record.round_number)
+    return transmit, receive
+
+
+def render_node_timelines(trace: ExecutionTrace) -> str:
+    """One line per node: ``node  {transmit rounds}  (receive rounds)``."""
+    transmit, receive = transmit_receive_maps(trace)
+    lines = []
+    for v in range(trace.num_nodes):
+        tr = ",".join(str(r) for r in transmit[v])
+        rr = ",".join(str(r) for r in receive[v])
+        lines.append(f"node {v:>4}  {{{tr}}}  ({rr})")
+    return "\n".join(lines)

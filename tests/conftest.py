@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide a representative spread of connected graphs (structured,
+random, radio-flavoured) that the protocol and labeling tests iterate over.
+Everything is seeded so the suite is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    binary_tree_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_geometric_graph,
+    random_gnp_graph,
+    random_tree,
+    star_graph,
+    wheel_graph,
+)
+
+
+def small_graph_instances() -> list[tuple[str, Graph, int]]:
+    """(name, graph, source) triples used across protocol tests."""
+    return [
+        ("path6", path_graph(6), 0),
+        ("path9-mid", path_graph(9), 4),
+        ("cycle5", cycle_graph(5), 0),
+        ("cycle8", cycle_graph(8), 3),
+        ("star7", star_graph(7), 0),
+        ("star7-leaf", star_graph(7), 3),
+        ("complete6", complete_graph(6), 2),
+        ("grid3x4", grid_graph(3, 4), 0),
+        ("grid4x4-center", grid_graph(4, 4), 5),
+        ("wheel8", wheel_graph(8), 4),
+        ("binary_tree15", binary_tree_graph(15), 0),
+        ("hypercube3", hypercube_graph(3), 0),
+        ("random_tree12", random_tree(12, seed=5), 0),
+        ("gnp18", random_gnp_graph(18, 0.2, seed=11), 0),
+        ("gnp25-sparse", random_gnp_graph(25, 0.12, seed=13), 7),
+        ("geometric20", random_geometric_graph(20, 0.4, seed=17), 0),
+    ]
+
+
+@pytest.fixture(params=small_graph_instances(), ids=lambda t: t[0])
+def labeled_instance(request) -> tuple[str, Graph, int]:
+    """Parametrised fixture yielding (name, graph, source) across families."""
+    return request.param
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    """A 3x3 grid used by quick unit tests."""
+    return grid_graph(3, 3)
+
+
+@pytest.fixture
+def small_path() -> Graph:
+    """A 5-node path used by quick unit tests."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def four_cycle() -> Graph:
+    """The 4-cycle from the paper's impossibility argument."""
+    return cycle_graph(4)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_graph_spec
+from repro.graphs import path_graph, save_edge_list
+
+
+class TestGraphSpecParsing:
+    def test_family_spec(self):
+        g = parse_graph_spec("path:7")
+        assert g.num_nodes == 7
+
+    def test_family_spec_with_seed(self):
+        a = parse_graph_spec("gnp_sparse:20:3")
+        b = parse_graph_spec("gnp_sparse:20:3")
+        assert a == b
+
+    def test_edge_list_file(self, tmp_path):
+        path = tmp_path / "g.edges"
+        save_edge_list(path_graph(5), path)
+        g = parse_graph_spec(str(path))
+        assert g.num_nodes == 5
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_graph_spec("nonsense:10")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_graph_spec("just-a-word")
+
+
+class TestCommands:
+    def test_label_command(self, capsys):
+        assert main(["label", "grid:9", "--scheme", "lambda"]) == 0
+        out = capsys.readouterr().out
+        assert "length=2" in out
+        assert out.strip().count("\n") == 9  # header + one line per node
+
+    def test_label_ack_and_arb(self, capsys):
+        assert main(["label", "path:6", "--scheme", "lambda_ack"]) == 0
+        assert main(["label", "path:6", "--scheme", "lambda_arb"]) == 0
+        out = capsys.readouterr().out
+        assert "length=3" in out
+
+    def test_broadcast_command(self, capsys):
+        assert main(["broadcast", "grid:16", "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "completion round" in out
+        assert "PASS" in out
+        assert "source" in out  # rendering present
+
+    def test_broadcast_acknowledged(self, capsys):
+        assert main(["broadcast", "cycle:8", "--scheme", "lambda_ack"]) == 0
+        out = capsys.readouterr().out
+        assert "acknowledgement round" in out
+
+    def test_broadcast_arbitrary(self, capsys):
+        assert main(["broadcast", "star:8", "--scheme", "lambda_arb", "--source", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "common completion round" in out
+
+    def test_figure1_command(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "dist 4" in out and "completion round: 7" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--families", "path", "--sizes", "8",
+                     "--schemes", "lambda", "round_robin"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda" in out and "round_robin" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

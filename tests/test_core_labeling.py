@@ -1,0 +1,180 @@
+"""Unit tests for the labeling schemes λ, λ_ack and λ_arb."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FORBIDDEN_ACK_LABELS,
+    build_sequences,
+    lambda_ack_scheme,
+    lambda_arb_scheme,
+    lambda_scheme,
+)
+from repro.graphs import (
+    Graph,
+    GraphError,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_gnp_graph,
+    star_graph,
+)
+
+
+class TestLambdaScheme:
+    def test_two_bit_labels_everywhere(self, labeled_instance):
+        name, graph, source = labeled_instance
+        lab = lambda_scheme(graph, source)
+        assert lab.length == 2
+        assert all(len(s) == 2 for s in lab.labels.values())
+        assert lab.num_distinct_labels() <= 4
+
+    def test_x1_matches_dom_membership(self):
+        g = grid_graph(4, 4)
+        lab = lambda_scheme(g, 0)
+        seq = lab.construction
+        dom_members = set()
+        for stage in seq.stages:
+            dom_members |= stage.dom
+        for v in g.nodes():
+            assert (lab.parsed(v).x1 == 1) == (v in dom_members)
+
+    def test_x2_witnesses_are_unique_per_staying_dominator(self):
+        # For every v in DOM_{i+1} ∩ DOM_i there must be exactly one neighbour
+        # in NEW_i with x2 = 1 (otherwise round 2i would collide at v).
+        for g, src in [(grid_graph(5, 5), 0), (random_gnp_graph(30, 0.12, seed=4), 0),
+                       (cycle_graph(11), 3)]:
+            lab = lambda_scheme(g, src)
+            seq = lab.construction
+            for i in range(1, seq.ell):
+                stayers = seq.dom(i + 1) & seq.dom(i)
+                for v in stayers:
+                    witnesses = [w for w in g.neighbors(v) & seq.new(i)
+                                 if lab.parsed(w).x2 == 1]
+                    assert len(witnesses) == 1, (v, i, witnesses)
+
+    def test_x2_nodes_are_in_some_new_set(self):
+        g = random_gnp_graph(25, 0.15, seed=8)
+        lab = lambda_scheme(g, 0)
+        seq = lab.construction
+        all_new = set()
+        for stage in seq.stages:
+            all_new |= stage.new
+        for v in g.nodes():
+            if lab.parsed(v).x2 == 1:
+                assert v in all_new
+
+    def test_source_gets_x1(self):
+        g = path_graph(5)
+        lab = lambda_scheme(g, 0)
+        assert lab.parsed(0).x1 == 1  # the source is DOM_1
+
+    def test_reuses_provided_construction(self):
+        g = grid_graph(3, 3)
+        seq = build_sequences(g, 0)
+        lab = lambda_scheme(g, 0, construction=seq)
+        assert lab.construction is seq
+
+    def test_rejects_mismatched_construction(self):
+        g = grid_graph(3, 3)
+        seq = build_sequences(g, 0)
+        with pytest.raises(GraphError):
+            lambda_scheme(g, 4, construction=seq)
+        with pytest.raises(GraphError):
+            lambda_scheme(path_graph(9), 0, construction=seq)
+
+    def test_label_histogram_and_accessors(self):
+        g = star_graph(6)
+        lab = lambda_scheme(g, 0)
+        hist = lab.label_histogram()
+        assert sum(hist.values()) == 6
+        assert lab.label(0) in hist
+        assert lab.as_dict() == lab.labels
+
+
+class TestLambdaAckScheme:
+    def test_three_bit_labels(self, labeled_instance):
+        name, graph, source = labeled_instance
+        lab = lambda_ack_scheme(graph, source)
+        assert lab.length == 3
+        assert lab.num_distinct_labels() <= 5
+
+    def test_fact_3_1_forbidden_labels_never_used(self, labeled_instance):
+        name, graph, source = labeled_instance
+        lab = lambda_ack_scheme(graph, source)
+        used = set(lab.labels.values())
+        assert not (used & set(FORBIDDEN_ACK_LABELS))
+
+    def test_exactly_one_acknowledger(self, labeled_instance):
+        name, graph, source = labeled_instance
+        lab = lambda_ack_scheme(graph, source)
+        ackers = [v for v in graph.nodes() if lab.parsed(v).x3 == 1]
+        assert len(ackers) == 1
+        assert ackers[0] == lab.acknowledger
+
+    def test_acknowledger_is_informed_last(self):
+        g = path_graph(9)
+        lab = lambda_ack_scheme(g, 0)
+        assert lab.acknowledger == 8  # farthest node on the path
+        seq = lab.construction
+        assert lab.acknowledger in seq.last_informed_nodes()
+
+    def test_acknowledger_label_is_001(self):
+        for g, src in [(path_graph(7), 0), (grid_graph(4, 4), 5), (star_graph(9), 0)]:
+            lab = lambda_ack_scheme(g, src)
+            assert lab.labels[lab.acknowledger] == "001"
+
+    def test_first_two_bits_agree_with_lambda(self):
+        g = random_gnp_graph(22, 0.18, seed=13)
+        plain = lambda_scheme(g, 0)
+        ack = lambda_ack_scheme(g, 0)
+        for v in g.nodes():
+            assert ack.labels[v][:2] == plain.labels[v]
+
+
+class TestLambdaArbScheme:
+    def test_coordinator_gets_reserved_label(self):
+        g = grid_graph(4, 4)
+        lab = lambda_arb_scheme(g)
+        assert lab.coordinator == 0
+        assert lab.labels[0] == "111"
+
+    def test_custom_coordinator(self):
+        g = cycle_graph(8)
+        lab = lambda_arb_scheme(g, coordinator=5)
+        assert lab.coordinator == 5
+        assert lab.labels[5] == "111"
+
+    def test_coordinator_label_unique(self, labeled_instance):
+        name, graph, source = labeled_instance
+        lab = lambda_arb_scheme(graph)
+        count_111 = sum(1 for v in graph.nodes() if lab.labels[v] == "111")
+        assert count_111 == 1
+
+    def test_at_most_six_distinct_labels(self, labeled_instance):
+        name, graph, source = labeled_instance
+        lab = lambda_arb_scheme(graph)
+        assert lab.length == 3
+        assert lab.num_distinct_labels() <= 6
+
+    def test_source_is_unknown(self):
+        lab = lambda_arb_scheme(path_graph(6))
+        assert lab.source is None
+
+    def test_single_node_graph(self):
+        lab = lambda_arb_scheme(Graph.empty(1))
+        assert lab.labels == {0: "111"}
+
+    def test_invalid_coordinator(self):
+        with pytest.raises(GraphError):
+            lambda_arb_scheme(path_graph(4), coordinator=9)
+
+    def test_rest_matches_ack_scheme_rooted_at_coordinator(self):
+        g = random_gnp_graph(18, 0.2, seed=21)
+        arb = lambda_arb_scheme(g, coordinator=3)
+        ack = lambda_ack_scheme(g, 3)
+        for v in g.nodes():
+            if v != 3:
+                assert arb.labels[v] == ack.labels[v]

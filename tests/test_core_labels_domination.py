@@ -1,0 +1,137 @@
+"""Unit tests for the Label value object and minimal dominating subsets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Label,
+    distinct_labels,
+    dominates,
+    greedy_minimal_dominating_subset,
+    is_minimal_dominating_subset,
+    label_length,
+    minimal_dominating_subset,
+    prune_to_minimal,
+    scheme_length,
+)
+from repro.graphs import GraphError, complete_graph, grid_graph, path_graph, star_graph
+from repro.graphs.generators import random_gnp_graph, two_level_star
+
+
+class TestLabel:
+    def test_parse_two_bit(self):
+        lab = Label.from_string("10")
+        assert (lab.x1, lab.x2, lab.x3) == (1, 0, 0)
+        assert lab.width == 2
+        assert lab.to_string() == "10"
+
+    def test_parse_three_bit(self):
+        lab = Label.from_string("011")
+        assert (lab.x1, lab.x2, lab.x3) == (0, 1, 1)
+        assert str(lab) == "011"
+
+    def test_parse_one_bit(self):
+        lab = Label.from_string("1")
+        assert lab.x1 == 1 and lab.width == 1
+
+    def test_roundtrip_all_widths(self):
+        for text in ("0", "1", "00", "01", "10", "11", "000", "101", "110"):
+            assert Label.from_string(text).to_string() == text
+
+    def test_invalid_strings(self):
+        for bad in ("", "2", "abc", "0101"):
+            with pytest.raises(ValueError):
+                Label.from_string(bad)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            Label(x1=2)
+        with pytest.raises(ValueError):
+            Label(x1=0, x2=0, x3=1, width=2)
+        with pytest.raises(ValueError):
+            Label(width=5)
+
+    def test_widened(self):
+        lab = Label.from_string("10").widened(3)
+        assert lab.to_string() == "100"
+        with pytest.raises(ValueError):
+            Label.from_string("101").widened(2)
+
+    def test_with_bits(self):
+        lab = Label.from_string("00").with_bits(x1=1)
+        assert lab.to_string() == "10"
+
+    def test_scheme_length_and_histogram(self):
+        labels = {0: "10", 1: "01", 2: "10"}
+        assert scheme_length(labels) == 2
+        assert label_length("011") == 3
+        assert distinct_labels(labels) == {"10": 2, "01": 1}
+        assert scheme_length({}) == 0
+
+
+class TestDomination:
+    def test_dominates(self):
+        g = path_graph(5)
+        assert dominates(g, {1, 3}, {0, 2, 4})
+        assert not dominates(g, {0}, {3})
+
+    def test_prune_star(self):
+        g = star_graph(6)
+        dom = prune_to_minimal(g, {0, 1, 2}, {3, 4, 5})
+        assert dom == frozenset({0})
+
+    def test_prune_keeps_necessary_nodes(self):
+        g = path_graph(6)
+        dom = prune_to_minimal(g, {1, 2, 3, 4}, {0, 5})
+        assert dom == frozenset({1, 4})
+
+    def test_prune_empty_targets(self):
+        g = path_graph(4)
+        assert prune_to_minimal(g, {0, 1, 2}, set()) == frozenset()
+
+    def test_prune_rejects_insufficient_candidates(self):
+        g = path_graph(5)
+        with pytest.raises(GraphError):
+            prune_to_minimal(g, {0}, {4})
+
+    def test_prune_result_is_minimal(self):
+        g = random_gnp_graph(20, 0.25, seed=3)
+        candidates = set(range(10))
+        targets = {v for v in range(10, 20) if g.neighbors(v) & candidates}
+        dom = prune_to_minimal(g, candidates, targets)
+        assert is_minimal_dominating_subset(g, dom, candidates, targets)
+
+    def test_greedy_result_is_minimal_and_small(self):
+        g = two_level_star(5, 4)  # hub 0, 5 branches with 4 leaves each
+        candidates = set(range(g.n))
+        leaves = {v for v in g.nodes() if g.degree(v) == 1}
+        greedy = greedy_minimal_dominating_subset(g, candidates, leaves)
+        assert is_minimal_dominating_subset(g, greedy, candidates, leaves)
+        # the 5 branch nodes dominate all leaves; greedy should find exactly them
+        assert len(greedy) == 5
+
+    def test_greedy_vs_prune_both_valid(self):
+        g = grid_graph(4, 5)
+        candidates = {v for v in g.nodes() if v < 10}
+        targets = {v for v in g.nodes() if v >= 10 and g.neighbors(v) & candidates}
+        for strategy in ("prune", "greedy"):
+            dom = minimal_dominating_subset(g, candidates, targets, strategy=strategy)
+            assert is_minimal_dominating_subset(g, dom, candidates, targets)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            minimal_dominating_subset(path_graph(3), {0}, {1}, strategy="bogus")
+
+    def test_is_minimal_rejects_non_subset(self):
+        g = path_graph(4)
+        assert not is_minimal_dominating_subset(g, {0, 3}, {0}, {1})
+
+    def test_is_minimal_rejects_redundant(self):
+        g = star_graph(5)
+        assert not is_minimal_dominating_subset(g, {0, 1}, {0, 1, 2}, {2, 3})
+
+    def test_complete_graph_single_dominator(self):
+        g = complete_graph(8)
+        dom = prune_to_minimal(g, set(range(8)), {7})
+        assert len(dom) == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the shared UniversalNode base class and radio node history."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols.base import UniversalNode
+from repro.radio import HistoryEntry, Message, SilentNode, source_message, stay_message
+
+
+class _Probe(UniversalNode):
+    """Minimal concrete protocol: always listen; record µ like the real ones."""
+
+    def decide(self, local_round):
+        return None
+
+    def on_receive(self, local_round, message):
+        if not self.knows_source_message and message.is_source:
+            self.record_source_receipt(local_round, message)
+
+
+class TestUniversalNode:
+    def test_source_initialisation(self):
+        node = _Probe(0, "10", is_source=True, source_payload="mu")
+        assert node.knows_source_message
+        assert node.sourcemsg == "mu"
+        assert node.informed_local_round is None
+
+    def test_non_source_initialisation(self):
+        node = _Probe(3, "01")
+        assert not node.knows_source_message
+        assert node.bits.x1 == 0 and node.bits.x2 == 1
+
+    def test_record_source_receipt_once(self):
+        node = _Probe(1, "00")
+        node.deliver(5, None, source_message("first", round_stamp=5))
+        node.deliver(7, None, source_message("second", round_stamp=7))
+        assert node.sourcemsg == "first"
+        assert node.informed_local_round == 5
+        assert node.informed_stamp == 5
+        assert node.first_received_in(5)
+        assert not node.first_received_in(7)
+
+    def test_heard_and_sent_kind_helpers(self):
+        node = _Probe(1, "00")
+        node.deliver(2, None, stay_message(round_stamp=2))
+        assert node.heard_kind_in(2, "stay") is not None
+        assert node.heard_kind_in(2, "source") is None
+        assert node.heard_kind_in(3, "stay") is None
+        assert node.sent_kind_in(2, "stay") is None
+
+    def test_history_entries_recorded_in_order(self):
+        node = _Probe(1, "00")
+        node.deliver(1, None, None)
+        node.deliver(2, None, source_message("x"))
+        assert [e.local_round for e in node.history] == [1, 2]
+        assert isinstance(node.history[0], HistoryEntry)
+        assert node.rounds_heard() == [(2, node.history[1].heard)]
+
+    def test_silence_and_collision_hooks(self):
+        events = []
+
+        class Hooked(_Probe):
+            def on_silence(self, local_round):
+                events.append(("silence", local_round))
+
+            def on_collision(self, local_round):
+                events.append(("collision", local_round))
+
+        node = Hooked(1, "00")
+        node.deliver(1, None, None)
+        node.deliver(2, None, None, collision_detected=True)
+        assert events == [("silence", 1), ("collision", 2)]
+
+    def test_transmitting_round_skips_reception_hooks(self):
+        received = []
+
+        class Hooked(_Probe):
+            def on_receive(self, local_round, message):
+                received.append(local_round)
+
+        node = Hooked(1, "00")
+        node.deliver(1, source_message("out"), source_message("in"))
+        # a transmitting node never processes a reception in the same round
+        assert received == []
+        assert node.ever_sent and not node.ever_heard
+
+    def test_source_requires_payload(self):
+        with pytest.raises(ValueError):
+            _Probe(0, "10", is_source=True)
+
+    def test_repr_mentions_role_and_label(self):
+        node = _Probe(4, "11")
+        assert "node 4" in repr(node)
+        assert "11" in repr(node)
+
+    def test_silent_node_never_transmits(self):
+        node = SilentNode(2, "0")
+        assert all(node.decide(r) is None for r in range(1, 10))

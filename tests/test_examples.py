@@ -1,0 +1,52 @@
+"""Smoke tests: the shipped examples must run end to end on small inputs."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py", "--rows", "3", "--cols", "3")
+        assert result.returncode == 0, result.stderr
+        assert "Broadcast completed" in result.stdout
+        assert "PASS" in result.stdout
+
+    def test_iot_deployment(self):
+        result = _run("iot_deployment.py", "--devices", "25", "--messages", "2",
+                      "--range", "0.35")
+        assert result.returncode == 0, result.stderr
+        assert "acknowledged in round" in result.stdout
+        assert "Label memory saved" in result.stdout
+
+    def test_sdn_roles(self):
+        result = _run("sdn_roles.py", "--pods", "2")
+        assert result.returncode == 0, result.stderr
+        assert "role 10" in result.stdout
+        assert "TDMA" in result.stdout
+
+    def test_arbitrary_source_failover(self):
+        result = _run("arbitrary_source_failover.py", "--nodes", "14", "--sources", "2")
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.count("[OK]") == 2
+
+    @pytest.mark.slow
+    def test_label_width_exploration(self):
+        result = _run("label_width_exploration.py")
+        assert result.returncode == 0, result.stderr
+        assert "Trees need no labels" in result.stdout

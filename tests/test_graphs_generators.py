@@ -1,0 +1,217 @@
+"""Unit tests for the graph family generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    FAMILIES,
+    GraphError,
+    barbell_graph,
+    binary_tree_graph,
+    broom_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    family_names,
+    full_kary_tree,
+    generate_family,
+    grid_graph,
+    hypercube_graph,
+    is_connected,
+    is_series_parallel,
+    is_tree,
+    ladder_graph,
+    lollipop_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    random_gnp_graph,
+    random_regular_graph,
+    random_series_parallel_graph,
+    random_tree,
+    spider_graph,
+    star_graph,
+    torus_graph,
+    two_level_star,
+    wheel_graph,
+)
+
+
+class TestStructuredFamilies:
+    def test_path(self):
+        g = path_graph(6)
+        assert g.num_nodes == 6 and g.num_edges == 5
+        assert g.degree(0) == 1 and g.degree(3) == 2
+
+    def test_path_single_node(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(9)
+        assert g.degree(0) == 8
+        assert all(g.degree(v) == 1 for v in range(1, 9))
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.nodes())
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_nodes == 7 and g.num_edges == 12
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(0, 3)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert g.degree(0) == 2  # corner
+        assert g.degree(5) == 4  # interior
+
+    def test_torus_regular(self):
+        g = torus_graph(3, 4)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphError):
+            torus_graph(2, 5)
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_binary_tree_and_kary(self):
+        assert is_tree(binary_tree_graph(15))
+        t = full_kary_tree(3, 2)
+        assert t.num_nodes == 1 + 3 + 9
+        assert is_tree(t)
+
+    def test_caterpillar_spider_broom_are_trees(self):
+        assert is_tree(caterpillar_graph(5, 2))
+        assert is_tree(spider_graph(4, 3))
+        assert is_tree(broom_graph(4, 5))
+        assert is_tree(two_level_star(3, 4))
+
+    def test_wheel(self):
+        g = wheel_graph(8)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 3 for v in range(1, 8))
+
+    def test_ladder(self):
+        g = ladder_graph(4)
+        assert g.num_nodes == 8 and g.num_edges == 4 + 2 * 3
+
+    def test_barbell_and_lollipop(self):
+        g = barbell_graph(4, 2)
+        assert g.num_nodes == 10
+        assert is_connected(g)
+        h = lollipop_graph(4, 3)
+        assert h.num_nodes == 7
+        assert is_connected(h)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            path_graph(0)
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+        with pytest.raises(GraphError):
+            wheel_graph(3)
+        with pytest.raises(GraphError):
+            barbell_graph(1, 0)
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            t = random_tree(20, seed=seed)
+            assert is_tree(t)
+
+    def test_random_tree_deterministic(self):
+        assert random_tree(15, seed=3) == random_tree(15, seed=3)
+        assert random_tree(15, seed=3) != random_tree(15, seed=4)
+
+    def test_random_tree_small(self):
+        assert random_tree(1, seed=0).num_nodes == 1
+        assert random_tree(2, seed=0).num_edges == 1
+
+    def test_gnp_connected_by_default(self):
+        for seed in range(4):
+            g = random_gnp_graph(30, 0.05, seed=seed)
+            assert is_connected(g)
+
+    def test_gnp_unconnected_allowed(self):
+        g = random_gnp_graph(30, 0.0, seed=1, connect=False)
+        assert g.num_edges == 0
+
+    def test_gnp_p_one_is_complete(self):
+        g = random_gnp_graph(8, 1.0, seed=0)
+        assert g.num_edges == 28
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(GraphError):
+            random_gnp_graph(5, 1.5)
+
+    def test_random_regular(self):
+        g = random_regular_graph(12, 3, seed=4)
+        assert all(g.degree(v) == 3 for v in g.nodes())
+        assert is_connected(g)
+
+    def test_random_regular_invalid(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3, seed=0)  # n*d odd
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4, seed=0)  # d >= n
+
+    def test_geometric_connected(self):
+        g = random_geometric_graph(30, 0.3, seed=9)
+        assert is_connected(g)
+        assert g.num_nodes == 30
+
+    def test_geometric_radius_one_is_complete(self):
+        g = random_geometric_graph(10, 1.5, seed=2)
+        assert g.num_edges == 45
+
+    def test_series_parallel_recognised(self):
+        for seed in range(5):
+            g = random_series_parallel_graph(12, seed=seed)
+            assert is_connected(g)
+            assert is_series_parallel(g)
+
+    def test_random_connected_graph(self):
+        g = random_connected_graph(25, 0.05, seed=6)
+        assert is_connected(g)
+        assert g.num_edges >= 24
+
+
+class TestFamilyRegistry:
+    def test_family_names_sorted(self):
+        names = family_names()
+        assert names == sorted(names)
+        assert "path" in names and "geometric" in names
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_generates_connected_graphs(self, family):
+        g = generate_family(family, 20, seed=1)
+        assert is_connected(g)
+        assert g.num_nodes >= 4
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(GraphError):
+            generate_family("nonexistent", 10)
+
+    def test_families_deterministic(self):
+        for family in ("gnp_sparse", "geometric", "random_tree"):
+            assert generate_family(family, 18, seed=7) == generate_family(family, 18, seed=7)

@@ -1,0 +1,209 @@
+"""Unit tests for the core Graph class and GraphBuilder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, GraphBuilder, GraphError, path_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(1, 1)])
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 5)])
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(n=-1, edge_set=frozenset())
+
+    def test_names_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 1)], names=["a", "b"])
+
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency({0: [1, 2], 2: [3]})
+        assert g.num_nodes == 4
+        assert g.has_edge(0, 1) and g.has_edge(0, 2) and g.has_edge(2, 3)
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_zero_node_graph(self):
+        g = Graph.empty(0)
+        assert g.num_nodes == 0
+        assert list(g.nodes()) == []
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (2, 3)])
+        assert g.neighbors(0) == frozenset({1, 2})
+        assert g.neighbors(3) == frozenset({2})
+
+    def test_neighbors_array_sorted(self):
+        g = Graph.from_edges(5, [(0, 4), (0, 2), (0, 1)])
+        assert list(g.neighbors_array(0)) == [1, 2, 4]
+
+    def test_degree_and_degrees(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert list(g.degrees()) == [3, 1, 1, 1]
+
+    def test_max_min_degree(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2)])
+        assert g.max_degree() == 2
+        assert g.min_degree() == 0
+
+    def test_has_edge_symmetric(self):
+        g = Graph.from_edges(3, [(0, 2)])
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(1, 1)
+
+    def test_contains_and_len_and_iter(self):
+        g = path_graph(4)
+        assert 3 in g and 4 not in g
+        assert len(g) == 4
+        assert list(iter(g)) == [0, 1, 2, 3]
+
+    def test_invalid_node_query_raises(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            g.neighbors(7)
+        with pytest.raises(GraphError):
+            g.degree(-1)
+
+    def test_adjacency_matrix_symmetric(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        mat = g.adjacency_matrix()
+        assert mat.shape == (4, 4)
+        assert np.array_equal(mat, mat.T)
+        assert mat[0, 1] and mat[2, 3] and not mat[0, 2]
+
+    def test_adjacency_lists(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 2)])
+        assert g.adjacency_lists() == {0: [1, 2], 1: [0], 2: [0]}
+
+    def test_csr_consistency(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (1, 3)])
+        indptr, indices = g.csr()
+        assert indptr[-1] == 2 * g.num_edges
+        for v in g.nodes():
+            assert set(indices[indptr[v]:indptr[v + 1]]) == set(g.neighbors(v))
+
+
+class TestSetQueries:
+    def test_neighborhood_matches_paper_definition(self):
+        # Γ(X) = nodes adjacent to at least one node of X (may intersect X).
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert g.neighborhood({0}) == frozenset({1})
+        assert g.neighborhood({1, 2}) == frozenset({0, 1, 2, 3})
+        assert g.neighborhood(set()) == frozenset()
+
+    def test_closed_neighborhood(self):
+        g = path_graph(4)
+        assert g.closed_neighborhood({1}) == frozenset({0, 1, 2})
+
+    def test_dominates(self):
+        g = path_graph(5)
+        assert g.dominates({1, 3}, {0, 2, 4})
+        assert not g.dominates({1}, {4})
+        assert g.dominates(set(), set())
+
+    def test_count_neighbors_in(self):
+        g = path_graph(5)
+        assert g.count_neighbors_in(2, {1, 3}) == 2
+        assert g.count_neighbors_in(2, {0, 4}) == 0
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self):
+        g = path_graph(5)
+        sub, remap = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert remap[1] == 0 and remap[3] == 2
+
+    def test_relabel_is_isomorphic(self):
+        g = path_graph(4)
+        h = g.relabel([3, 2, 1, 0])
+        assert h.num_edges == g.num_edges
+        assert h.has_edge(3, 2) and h.has_edge(1, 0)
+
+    def test_relabel_rejects_non_permutation(self):
+        with pytest.raises(GraphError):
+            path_graph(3).relabel([0, 0, 1])
+
+    def test_union_disjoint(self):
+        g = path_graph(3).union_disjoint(path_graph(2))
+        assert g.num_nodes == 5
+        assert g.has_edge(3, 4)
+        assert not g.has_edge(2, 3)
+
+    def test_add_and_remove_edges_are_persistent(self):
+        g = path_graph(4)
+        g2 = g.add_edges([(0, 3)])
+        assert g2.has_edge(0, 3) and not g.has_edge(0, 3)
+        g3 = g2.remove_edges([(0, 3)])
+        assert not g3.has_edge(0, 3)
+
+    def test_complement(self):
+        g = path_graph(3)
+        comp = g.complement()
+        assert comp.has_edge(0, 2)
+        assert not comp.has_edge(0, 1)
+
+    def test_hash_and_equality_structural(self):
+        g1 = Graph.from_edges(3, [(0, 1), (1, 2)])
+        g2 = Graph.from_edges(3, [(1, 2), (0, 1)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != Graph.from_edges(3, [(0, 1)])
+
+    def test_repr_and_summary(self):
+        g = path_graph(3)
+        assert "n=3" in repr(g)
+        assert "3 nodes" in g.summary()
+
+
+class TestGraphBuilder:
+    def test_build_with_string_keys(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b")
+        b.add_edge("b", "c")
+        g = b.build()
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.names == ("a", "b", "c")
+
+    def test_add_edges_bulk_and_index_of(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2), (0, 2)])
+        assert b.num_nodes == 3
+        assert b.index_of(2) == 2
+        assert b.build().num_edges == 3
+
+    def test_isolated_node(self):
+        b = GraphBuilder()
+        b.add_node("alone")
+        b.add_edge("x", "y")
+        g = b.build()
+        assert g.num_nodes == 3
+        assert g.degree(0) == 0

@@ -1,0 +1,82 @@
+"""Unit tests for the radio message taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.radio import (
+    Message,
+    ack_message,
+    initialize_message,
+    message_size_bits,
+    ready_message,
+    source_message,
+    stay_message,
+)
+
+
+class TestMessageConstruction:
+    def test_source_message(self):
+        m = source_message("hello")
+        assert m.is_source and not m.is_stay and not m.is_ack
+        assert m.payload == "hello"
+        assert m.round_stamp is None
+
+    def test_stay_message(self):
+        m = stay_message(round_stamp=4)
+        assert m.is_stay
+        assert m.round_stamp == 4
+
+    def test_ack_message(self):
+        m = ack_message(9, payload="T")
+        assert m.is_ack and m.round_stamp == 9 and m.payload == "T"
+
+    def test_initialize_and_ready(self):
+        assert initialize_message(round_stamp=1).is_initialize
+        r = ready_message(13, round_stamp=20)
+        assert r.is_ready and r.payload == 13
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Message("bogus")
+
+    def test_negative_stamp_rejected(self):
+        with pytest.raises(ValueError):
+            Message("source", round_stamp=-1)
+
+    def test_with_stamp(self):
+        m = source_message("x").with_stamp(7)
+        assert m.round_stamp == 7 and m.payload == "x"
+
+    def test_str_rendering(self):
+        text = str(source_message("m", round_stamp=3))
+        assert "source" in text and "t=3" in text
+
+    def test_messages_are_hashable_and_equal_by_value(self):
+        assert source_message("a", 1) == source_message("a", 1)
+        assert source_message("a", 1) != source_message("a", 2)
+        assert len({stay_message(1), stay_message(1), stay_message(2)}) == 2
+
+
+class TestMessageSizeAccounting:
+    def test_source_costs_payload_bits(self):
+        assert message_size_bits(source_message("x"), source_payload_bits=64) == 64
+
+    def test_control_messages_cost_constant(self):
+        assert message_size_bits(stay_message(), source_payload_bits=1000) == 2
+
+    def test_round_stamp_adds_log_bits(self):
+        small = message_size_bits(stay_message(round_stamp=1))
+        large = message_size_bits(stay_message(round_stamp=1000))
+        assert small < large
+        assert large <= 2 + 12
+
+    def test_ready_carries_timestamp(self):
+        plain = message_size_bits(stay_message(round_stamp=8))
+        ready = message_size_bits(ready_message(100, round_stamp=8))
+        assert ready > plain
+
+    def test_ack_with_payload_charges_payload(self):
+        without = message_size_bits(ack_message(5))
+        with_payload = message_size_bits(ack_message(5, payload="msg"), source_payload_bits=32)
+        assert with_payload == without + 32

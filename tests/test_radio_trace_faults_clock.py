@@ -1,0 +1,216 @@
+"""Unit tests for execution traces, fault models and clock models."""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import pytest
+
+from repro.graphs import path_graph, star_graph
+from repro.radio import (
+    CompositeFaults,
+    CrashFaults,
+    ExecutionTrace,
+    Message,
+    NoFaults,
+    OffsetClocks,
+    RadioNode,
+    RadioSimulator,
+    RoundRecord,
+    SynchronizedClocks,
+    TransmissionDropFaults,
+    random_offsets,
+    source_message,
+    stay_message,
+)
+
+
+def _record(round_number, transmissions=None, receptions=None, collisions=(), suppressed=None):
+    return RoundRecord(
+        round_number=round_number,
+        transmissions=transmissions or {},
+        receptions=receptions or {},
+        collisions=frozenset(collisions),
+        suppressed=suppressed or {},
+    )
+
+
+class TestExecutionTrace:
+    def _sample_trace(self) -> ExecutionTrace:
+        trace = ExecutionTrace(num_nodes=4, source=0)
+        trace.append(_record(1, {0: source_message("m")}, {1: source_message("m")}))
+        trace.append(_record(2, {1: stay_message()}, {0: stay_message(), 2: stay_message()}))
+        trace.append(_record(3, {1: source_message("m"), 2: source_message("m")},
+                             {3: source_message("m")}, collisions={0}))
+        return trace
+
+    def test_round_numbers_must_be_consecutive(self):
+        trace = ExecutionTrace(num_nodes=2, source=0)
+        trace.append(_record(1))
+        with pytest.raises(ValueError):
+            trace.append(_record(3))
+
+    def test_record_access_bounds(self):
+        trace = self._sample_trace()
+        assert trace.record(2).round_number == 2
+        with pytest.raises(IndexError):
+            trace.record(0)
+        with pytest.raises(IndexError):
+            trace.record(9)
+
+    def test_transmit_and_receive_rounds(self):
+        trace = self._sample_trace()
+        assert trace.transmit_rounds(1) == [2, 3]
+        assert trace.receive_rounds(0) == [2]
+        assert trace.collision_rounds(0) == [3]
+
+    def test_first_source_receipt_and_informed(self):
+        trace = self._sample_trace()
+        assert trace.first_source_receipt(1) == 1
+        assert trace.first_source_receipt(3) == 3
+        assert trace.first_source_receipt(2) is None  # only heard a stay
+        assert trace.informed_nodes() == {0, 1, 3}
+        assert trace.informed_by_round() == {1: 1, 3: 3}
+
+    def test_broadcast_completion_round(self):
+        trace = self._sample_trace()
+        assert trace.broadcast_completion_round() is None  # node 2 never informed
+        trace.append(_record(4, {1: source_message("m")}, {2: source_message("m")}))
+        assert trace.broadcast_completion_round() == 4
+
+    def test_completion_undefined_without_source(self):
+        trace = ExecutionTrace(num_nodes=2, source=None)
+        trace.append(_record(1))
+        assert trace.broadcast_completion_round() is None
+
+    def test_aggregates_and_histogram(self):
+        trace = self._sample_trace()
+        assert trace.total_transmissions() == 4
+        assert trace.total_collisions() == 1
+        assert trace.transmissions_by_kind() == {"source": 3, "stay": 1}
+
+    def test_messages_sent_and_heard(self):
+        trace = self._sample_trace()
+        assert [r for r, _ in trace.messages_sent(1)] == [2, 3]
+        assert [r for r, _ in trace.messages_heard(3)] == [3]
+
+    def test_json_serialization(self):
+        doc = json.loads(self._sample_trace().to_json())
+        assert doc["num_nodes"] == 4
+        assert len(doc["rounds"]) == 3
+        assert doc["rounds"][2]["collisions"] == [0]
+
+    def test_summary_text(self):
+        text = self._sample_trace().summary()
+        assert "4 nodes" in text and "transmissions" in text
+
+
+class _ClockProbe(RadioNode):
+    """Records the local round values it observes."""
+
+    def __init__(self, node_id, label, *, is_source=False, source_payload=None):
+        super().__init__(node_id, label, is_source=is_source, source_payload=source_payload)
+        self.seen = []
+
+    def decide(self, local_round):
+        self.seen.append(local_round)
+        return None
+
+
+class TestClocks:
+    def test_synchronized_clock_identity(self):
+        assert SynchronizedClocks().local_round(3, 17) == 17
+
+    def test_offset_clock(self):
+        clock = OffsetClocks({1: 10}, default=2)
+        assert clock.local_round(1, 5) == 15
+        assert clock.local_round(0, 5) == 7
+
+    def test_random_offsets_deterministic(self):
+        a = random_offsets(5, seed=3).offsets
+        b = random_offsets(5, seed=3).offsets
+        assert a == b
+        assert all(v >= 0 for v in a.values())
+
+    def test_engine_applies_offsets(self):
+        g = path_graph(3)
+        probes = {}
+
+        def make(node_id, label, is_source, source_payload):
+            probes[node_id] = _ClockProbe(node_id, label)
+            return probes[node_id]
+
+        clock = OffsetClocks({0: 0, 1: 100, 2: 200})
+        sim = RadioSimulator(g, {v: "0" for v in g.nodes()}, make, source=None,
+                             clock_model=clock)
+        sim.run(max_rounds=3)
+        assert probes[0].seen == [1, 2, 3]
+        assert probes[1].seen == [101, 102, 103]
+        assert probes[2].seen == [201, 202, 203]
+
+
+class _Beacon(RadioNode):
+    def decide(self, local_round):
+        return source_message(f"b{self.node_id}") if self.node_id == 0 else None
+
+
+class TestFaults:
+    def test_no_faults_passthrough(self):
+        model = NoFaults()
+        assert model.transmission_survives(1, 0, source_message("x"))
+        assert model.node_is_alive(99, 3)
+
+    def test_drop_all(self):
+        g = star_graph(4)
+        model = TransmissionDropFaults(1.0, seed=1)
+
+        def make(node_id, label, is_source, source_payload):
+            return _Beacon(node_id, label, is_source=is_source, source_payload=source_payload)
+
+        sim = RadioSimulator(g, {v: "0" for v in g.nodes()}, make, source=0,
+                             source_payload="x", fault_model=model)
+        sim.run(max_rounds=3)
+        assert sim.trace.total_transmissions() == 0
+        assert all(len(r.suppressed) == 1 for r in sim.trace.rounds)
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(ValueError):
+            TransmissionDropFaults(1.5)
+
+    def test_drop_deterministic_per_seed(self):
+        m1 = TransmissionDropFaults(0.5, seed=9)
+        m2 = TransmissionDropFaults(0.5, seed=9)
+        pattern1 = [m1.transmission_survives(r, 0, source_message("x")) for r in range(20)]
+        pattern2 = [m2.transmission_survives(r, 0, source_message("x")) for r in range(20)]
+        assert pattern1 == pattern2
+        assert any(pattern1) and not all(pattern1)
+
+    def test_crash_faults(self):
+        model = CrashFaults({2: 3})
+        assert model.node_is_alive(2, 2)
+        assert not model.node_is_alive(3, 2)
+        assert not model.transmission_survives(5, 2, source_message("x"))
+        assert model.transmission_survives(5, 1, source_message("x"))
+
+    def test_crash_round_validation(self):
+        with pytest.raises(ValueError):
+            CrashFaults({0: 0})
+
+    def test_crashed_node_stops_participating(self):
+        g = star_graph(4)
+
+        def make(node_id, label, is_source, source_payload):
+            return _Beacon(node_id, label, is_source=is_source, source_payload=source_payload)
+
+        sim = RadioSimulator(g, {v: "0" for v in g.nodes()}, make, source=0,
+                             source_payload="x", fault_model=CrashFaults({0: 2}))
+        sim.run(max_rounds=4)
+        assert sim.trace.transmit_rounds(0) == [1]
+
+    def test_composite_faults(self):
+        model = CompositeFaults([CrashFaults({1: 2}), TransmissionDropFaults(0.0)])
+        assert model.transmission_survives(1, 1, source_message("x"))
+        assert not model.transmission_survives(2, 1, source_message("x"))
+        assert not model.node_is_alive(3, 1)
+        assert model.node_is_alive(3, 0)

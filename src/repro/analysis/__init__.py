@@ -18,12 +18,16 @@ from .metrics import (
     metrics_from_outcome,
     per_round_transmitter_counts,
 )
+from .executor import chunk_specs, default_jobs, run_sweep_parallel
 from .report import format_comparison, format_metrics_table, format_table
 from .sweep import (
     SCHEME_RUNNERS,
     SweepConfig,
     SweepInstance,
     generate_instances,
+    instance_seed,
+    instance_specs,
+    materialize_instance,
     run_sweep,
 )
 
@@ -37,17 +41,23 @@ __all__ = [
     "aggregate",
     "broadcast_round_bound",
     "broadcast_round_bound_sharp",
+    "chunk_specs",
     "coloring_label_bits",
+    "default_jobs",
     "distinct_label_bound",
     "format_comparison",
     "format_metrics_table",
     "format_table",
     "generate_instances",
+    "instance_seed",
+    "instance_specs",
+    "materialize_instance",
     "message_bits_total",
     "metrics_from_baseline",
     "metrics_from_outcome",
     "per_round_transmitter_counts",
     "round_robin_label_bits",
     "run_sweep",
+    "run_sweep_parallel",
     "scheme_length_bound",
 ]

@@ -17,7 +17,6 @@ from ..baselines.base import BaselineOutcome
 from ..core.runner import BroadcastOutcome
 from ..graphs.graph import Graph
 from ..graphs.properties import source_radius
-from ..radio.messages import message_size_bits
 from ..radio.trace import ExecutionTrace
 
 __all__ = [
@@ -60,12 +59,12 @@ class RunMetrics:
 
 
 def message_bits_total(trace: ExecutionTrace, source_payload_bits: int = 32) -> int:
-    """Total bits put on the channel over the execution (paper's accounting)."""
-    total = 0
-    for record in trace.rounds:
-        for msg in record.transmissions.values():
-            total += message_size_bits(msg, source_payload_bits=source_payload_bits)
-    return total
+    """Total bits put on the channel over the execution (paper's accounting).
+
+    The trace maintains the bit total incrementally at every trace level, so
+    summary traces report it without per-round records.
+    """
+    return trace.total_message_bits(source_payload_bits)
 
 
 def per_round_transmitter_counts(trace: ExecutionTrace) -> np.ndarray:

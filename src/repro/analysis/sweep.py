@@ -3,12 +3,21 @@
 A sweep runs one or more schemes over a grid of (graph family, size, seed,
 source) combinations and returns the flat metric rows the report renderer and
 the benchmark assertions consume.  Sweeps are deterministic: the seed of every
-instance is derived from the sweep seed, the family name and the size.
+instance is derived from the sweep seed, the family name and the size, using a
+*stable* family hash (CRC32) so the same config yields the same instances in
+every process — a prerequisite for the parallel executor in
+:mod:`repro.analysis.executor`, whose workers regenerate instances from specs.
+
+``run_sweep`` accepts ``backend`` / ``trace_level`` (threaded through to every
+scheme runner; sweeps default to summary traces, which keep memory flat) and
+``jobs`` (``> 1`` fans instances out over a process pool with results
+guaranteed identical to the serial order).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..baselines import (
@@ -27,7 +36,15 @@ from ..graphs.graph import Graph
 from ..graphs.random import derive_seed
 from .metrics import RunMetrics, metrics_from_baseline, metrics_from_outcome
 
-__all__ = ["SweepConfig", "SweepInstance", "generate_instances", "run_sweep", "SCHEME_RUNNERS"]
+__all__ = [
+    "SweepConfig",
+    "SweepInstance",
+    "generate_instances",
+    "instance_seed",
+    "materialize_instance",
+    "run_sweep",
+    "SCHEME_RUNNERS",
+]
 
 
 @dataclass(frozen=True)
@@ -80,68 +97,105 @@ def _pick_source(graph: Graph, rule: str) -> int:
     raise ValueError(f"unknown source rule {rule!r}")
 
 
+def _stable_family_hash(family: str) -> int:
+    """16-bit CRC of the family name — stable across processes and runs.
+
+    Python's built-in ``hash(str)`` is salted per interpreter, which would
+    make instance seeds differ between a sweep driver and its worker
+    processes (and between reruns).
+    """
+    return zlib.crc32(family.encode("utf-8")) & 0xFFFF
+
+
+def instance_seed(base_seed: int, family: str, size: int, rep: int) -> int:
+    """The derived seed of the ``rep``-th instance of a (family, size) cell."""
+    return derive_seed(base_seed, _stable_family_hash(family), size, rep)
+
+
+def materialize_instance(
+    config: SweepConfig, family: str, size: int, rep: int
+) -> SweepInstance:
+    """Build the concrete :class:`SweepInstance` for one grid cell + repetition."""
+    seed = instance_seed(config.base_seed, family, size, rep)
+    graph = generate_family(family, size, seed)
+    source = _pick_source(graph, config.source_rule)
+    return SweepInstance(family=family, n=graph.n, seed=seed, source=source, graph=graph)
+
+
+def instance_specs(config: SweepConfig) -> List[Tuple[str, int, int]]:
+    """The ``(family, size, rep)`` spec of every instance, in sweep order."""
+    return [
+        (family, size, rep)
+        for family in config.families
+        for size in config.sizes
+        for rep in range(config.seeds_per_size)
+    ]
+
+
 def generate_instances(config: SweepConfig) -> List[SweepInstance]:
     """Materialise every workload instance described by ``config``."""
-    instances: List[SweepInstance] = []
-    for family in config.families:
-        for size in config.sizes:
-            for rep in range(config.seeds_per_size):
-                seed = derive_seed(config.base_seed, hash(family) & 0xFFFF, size, rep)
-                graph = generate_family(family, size, seed)
-                source = _pick_source(graph, config.source_rule)
-                instances.append(
-                    SweepInstance(family=family, n=graph.n, seed=seed, source=source, graph=graph)
-                )
-    return instances
+    return [
+        materialize_instance(config, family, size, rep)
+        for family, size, rep in instance_specs(config)
+    ]
 
 
-def _run_lambda(instance: SweepInstance) -> RunMetrics:
-    outcome = run_broadcast(instance.graph, instance.source)
+def _run_lambda(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
+    outcome = run_broadcast(instance.graph, instance.source,
+                            backend=backend, trace_level=trace_level)
     return metrics_from_outcome(instance.graph, outcome, family=instance.family,
                                 source=instance.source)
 
 
-def _run_lambda_ack(instance: SweepInstance) -> RunMetrics:
-    outcome = run_acknowledged_broadcast(instance.graph, instance.source)
+def _run_lambda_ack(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
+    outcome = run_acknowledged_broadcast(instance.graph, instance.source,
+                                         backend=backend, trace_level=trace_level)
     return metrics_from_outcome(instance.graph, outcome, family=instance.family,
                                 source=instance.source)
 
 
-def _run_lambda_arb(instance: SweepInstance) -> RunMetrics:
+def _run_lambda_arb(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
     coordinator = 0 if instance.source != 0 else instance.graph.n - 1
     outcome = run_arbitrary_source_broadcast(
-        instance.graph, true_source=instance.source, coordinator=coordinator
+        instance.graph, true_source=instance.source, coordinator=coordinator,
+        backend=backend, trace_level=trace_level,
     )
     return metrics_from_outcome(instance.graph, outcome, family=instance.family,
                                 source=instance.source)
 
 
-def _run_round_robin(instance: SweepInstance) -> RunMetrics:
-    outcome = run_round_robin(instance.graph, instance.source)
+def _run_round_robin(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
+    outcome = run_round_robin(instance.graph, instance.source,
+                              backend=backend, trace_level=trace_level)
     return metrics_from_baseline(instance.graph, outcome, family=instance.family,
                                  source=instance.source)
 
 
-def _run_coloring(instance: SweepInstance) -> RunMetrics:
-    outcome = run_coloring_tdma(instance.graph, instance.source)
+def _run_coloring(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
+    outcome = run_coloring_tdma(instance.graph, instance.source,
+                                backend=backend, trace_level=trace_level)
     return metrics_from_baseline(instance.graph, outcome, family=instance.family,
                                  source=instance.source)
 
 
-def _run_collision_detection(instance: SweepInstance) -> RunMetrics:
-    outcome = run_collision_detection_broadcast(instance.graph, instance.source)
+def _run_collision_detection(instance: SweepInstance, *, backend=None,
+                             trace_level="summary") -> RunMetrics:
+    outcome = run_collision_detection_broadcast(instance.graph, instance.source,
+                                                backend=backend, trace_level=trace_level)
     return metrics_from_baseline(instance.graph, outcome, family=instance.family,
                                  source=instance.source)
 
 
-def _run_centralized(instance: SweepInstance) -> RunMetrics:
-    outcome = run_centralized_schedule(instance.graph, instance.source)
+def _run_centralized(instance: SweepInstance, *, backend=None,
+                     trace_level="summary") -> RunMetrics:
+    outcome = run_centralized_schedule(instance.graph, instance.source,
+                                       backend=backend, trace_level=trace_level)
     return metrics_from_baseline(instance.graph, outcome, family=instance.family,
                                  source=instance.source)
 
 
-#: Scheme name → callable(SweepInstance) -> RunMetrics.
-SCHEME_RUNNERS: Dict[str, Callable[[SweepInstance], RunMetrics]] = {
+#: Scheme name → callable(SweepInstance, *, backend, trace_level) -> RunMetrics.
+SCHEME_RUNNERS: Dict[str, Callable[..., RunMetrics]] = {
     "lambda": _run_lambda,
     "lambda_ack": _run_lambda_ack,
     "lambda_arb": _run_lambda_arb,
@@ -152,13 +206,32 @@ SCHEME_RUNNERS: Dict[str, Callable[[SweepInstance], RunMetrics]] = {
 }
 
 
-def run_sweep(config: SweepConfig) -> List[RunMetrics]:
-    """Run every configured scheme over every instance and return all rows."""
+def run_sweep(
+    config: SweepConfig,
+    *,
+    backend=None,
+    trace_level: str = "summary",
+    jobs: int = 1,
+) -> List[RunMetrics]:
+    """Run every configured scheme over every instance and return all rows.
+
+    ``jobs > 1`` dispatches to the batched parallel executor
+    (:func:`repro.analysis.executor.run_sweep_parallel`); rows come back in
+    the same stable order regardless of the job count.
+    """
     unknown = [s for s in config.schemes if s not in SCHEME_RUNNERS]
     if unknown:
         raise ValueError(f"unknown schemes {unknown}; known: {sorted(SCHEME_RUNNERS)}")
+    if jobs > 1:
+        from .executor import run_sweep_parallel
+
+        return run_sweep_parallel(
+            config, jobs=jobs, backend=backend, trace_level=trace_level
+        )
     rows: List[RunMetrics] = []
     for instance in generate_instances(config):
         for scheme in config.schemes:
-            rows.append(SCHEME_RUNNERS[scheme](instance))
+            rows.append(
+                SCHEME_RUNNERS[scheme](instance, backend=backend, trace_level=trace_level)
+            )
     return rows

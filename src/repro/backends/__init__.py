@@ -1,0 +1,70 @@
+"""Pluggable simulation backends.
+
+Public surface::
+
+    from repro.backends import resolve_backend, ReferenceBackend, VectorizedBackend
+
+    backend = resolve_backend("vectorized")
+    result = backend.run_task(task)
+
+``resolve_backend`` accepts a backend name (``"reference"`` /
+``"vectorized"``), an existing backend instance, or ``None`` (the reference
+default), and returns a shared instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from .base import (
+    PROTOCOLS,
+    STOP_RULES,
+    BackendError,
+    BackendResult,
+    SimulationBackend,
+    SimulationTask,
+)
+from .reference import ReferenceBackend
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendError",
+    "BackendResult",
+    "PROTOCOLS",
+    "ReferenceBackend",
+    "STOP_RULES",
+    "SimulationBackend",
+    "SimulationTask",
+    "VectorizedBackend",
+    "resolve_backend",
+]
+
+_BACKEND_CLASSES = {
+    ReferenceBackend.name: ReferenceBackend,
+    VectorizedBackend.name: VectorizedBackend,
+}
+
+#: Names accepted by :func:`resolve_backend` (and the CLI ``--backend`` flag).
+BACKEND_NAMES = tuple(_BACKEND_CLASSES)
+
+_instances: Dict[str, SimulationBackend] = {}
+
+
+def resolve_backend(
+    backend: Optional[Union[str, SimulationBackend]] = None,
+) -> SimulationBackend:
+    """Map a backend spec (name, instance or ``None``) to a backend object."""
+    if backend is None:
+        backend = ReferenceBackend.name
+    if isinstance(backend, SimulationBackend):
+        return backend
+    try:
+        cls = _BACKEND_CLASSES[backend]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {backend!r}; known backends: {sorted(_BACKEND_CLASSES)}"
+        ) from None
+    if backend not in _instances:
+        _instances[backend] = cls()
+    return _instances[backend]

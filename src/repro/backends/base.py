@@ -1,0 +1,161 @@
+"""Backend abstraction: *what* to simulate, decoupled from *how*.
+
+The tentpole refactor of this layer splits the execution core in two:
+
+* a :class:`SimulationTask` is a declarative description of one protocol
+  execution — topology, labeling, protocol name, source, round budget, stop
+  rule and channel semantics;
+* a :class:`SimulationBackend` turns a task into a
+  :class:`~repro.radio.engine.SimulationResult` plus a ``derived`` dict of
+  protocol-level outcomes (completion round, acknowledgement round, …).
+
+Two backends ship:
+
+* :class:`~repro.backends.reference.ReferenceBackend` drives the faithful
+  per-node object engine (:mod:`repro.radio.engine`) — the ground truth;
+* :class:`~repro.backends.vectorized.VectorizedBackend` compiles the labeled
+  protocols and the TDMA baselines into NumPy array kernels over the graph's
+  CSR adjacency, producing bit-for-bit identical outcomes at a fraction of
+  the cost (the equivalence suite in ``tests/test_backend_equivalence.py``
+  asserts this on a grid of families × sizes × seeds).
+
+Callers never need the per-protocol plumbing: :func:`resolve_backend` maps
+``"reference"`` / ``"vectorized"`` (or an existing backend instance) to a
+shared backend object.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from ..graphs.graph import Graph
+from ..radio.clock import ClockModel
+from ..radio.collision import CollisionModel
+from ..radio.engine import NodeFactory, SimulationResult
+from ..radio.faults import FaultModel
+
+__all__ = [
+    "PROTOCOLS",
+    "STOP_RULES",
+    "BackendError",
+    "BackendResult",
+    "SimulationBackend",
+    "SimulationTask",
+]
+
+#: Protocol names a task may carry.  ``node_factory`` covers anything else.
+PROTOCOLS = (
+    "broadcast",
+    "acknowledged",
+    "arbitrary",
+    "round_robin",
+    "coloring_tdma",
+    "collision_detection",
+    "centralized",
+    "custom",
+)
+
+#: Declarative stop rules every backend understands.
+STOP_RULES = ("all_informed", "acknowledged", "arb_complete")
+
+
+class BackendError(RuntimeError):
+    """Raised when a backend cannot execute the task it was handed."""
+
+
+@dataclass
+class SimulationTask:
+    """One protocol execution, described declaratively.
+
+    Attributes
+    ----------
+    protocol:
+        Semantic protocol name (see :data:`PROTOCOLS`).  Array backends key
+        their compiled kernels off this; the reference backend only needs
+        :attr:`node_factory`.
+    graph / labels / source / payload:
+        The workload: topology, labeling, designated source (the node holding
+        µ) and the payload µ itself.
+    node_factory:
+        Builds the per-node protocol object for the reference engine.
+    max_rounds:
+        Hard round budget.
+    stop_rule:
+        One of :data:`STOP_RULES` or ``None`` (run to budget).  Backends stop
+        after the first round in which the rule holds.
+    stop_condition:
+        Optional callable ``sim -> bool`` used by the reference engine when
+        the rule needs node introspection (e.g. B_arb's common-completion
+        check).  Takes precedence over :attr:`stop_rule` on the reference
+        path; array backends implement :attr:`stop_rule` natively.
+    trace_level:
+        ``"full"`` / ``"summary"`` / ``"none"`` (see :mod:`repro.radio.trace`).
+    collision_model / fault_model / clock_model:
+        Channel semantics; ``None`` selects the paper's defaults.  Non-default
+        models force array backends to fall back to the reference engine.
+    extras:
+        Protocol-specific knobs (e.g. the B_arb coordinator id).
+    """
+
+    protocol: str
+    graph: Graph
+    labels: Mapping[int, str]
+    node_factory: Optional[NodeFactory] = None
+    source: Optional[int] = None
+    payload: Any = "MSG"
+    max_rounds: int = 0
+    stop_rule: Optional[str] = None
+    stop_condition: Optional[Callable[..., bool]] = None
+    trace_level: str = "full"
+    collision_model: Optional[CollisionModel] = None
+    fault_model: Optional[FaultModel] = None
+    clock_model: Optional[ClockModel] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}")
+        if self.stop_rule is not None and self.stop_rule not in STOP_RULES:
+            raise ValueError(f"unknown stop rule {self.stop_rule!r}; known: {STOP_RULES}")
+        if self.max_rounds < 0:
+            raise ValueError(f"max_rounds must be non-negative, got {self.max_rounds}")
+
+
+@dataclass
+class BackendResult:
+    """What a backend hands back: the simulation plus derived outcomes.
+
+    ``derived`` carries protocol-level conclusions the backend computed while
+    running (``completion_round``, ``acknowledgement_round``,
+    ``common_completion_round``, …).  The reference backend leaves it empty —
+    callers derive outcomes from the trace and node objects as before — while
+    array backends fill it, since they have no node objects to inspect.
+    """
+
+    simulation: SimulationResult
+    derived: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def trace(self):
+        """The execution trace."""
+        return self.simulation.trace
+
+
+class SimulationBackend(ABC):
+    """Strategy interface every simulation engine implements."""
+
+    #: Registry / CLI name of the backend.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_task(self, task: SimulationTask) -> BackendResult:
+        """Execute ``task`` and return the result."""
+
+    def supports(self, task: SimulationTask) -> bool:
+        """True if this backend can execute ``task`` natively."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

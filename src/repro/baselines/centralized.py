@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..backends import SimulationTask, resolve_backend
 from ..graphs.graph import Graph, GraphError
 from ..graphs.traversal import is_connected
 from ..radio.engine import run_protocol
@@ -97,6 +98,8 @@ def run_centralized_schedule(
     payload: Any = "MSG",
     strategy: str = "greedy",
     max_rounds: Optional[int] = None,
+    backend=None,
+    trace_level: str = "full",
 ) -> BaselineOutcome:
     """Run the centralised greedy schedule and collect comparison metrics."""
     schedule = compute_centralized_schedule(graph, source, strategy=strategy)
@@ -121,15 +124,22 @@ def run_centralized_schedule(
             transmit_rounds=per_node_rounds[node_id],
         )
 
-    sim = run_protocol(
-        graph,
-        labels,
-        factory,
-        source=source,
-        source_payload=payload,
-        max_rounds=budget,
-        stop_condition=lambda s: s.all_informed(),
+    # The schedule lives in the node objects, so every backend delegates this
+    # task to the reference engine.
+    result = resolve_backend(backend).run_task(
+        SimulationTask(
+            protocol="centralized",
+            graph=graph,
+            labels=labels,
+            node_factory=factory,
+            source=source,
+            payload=payload,
+            max_rounds=budget,
+            stop_rule="all_informed",
+            trace_level=trace_level,
+        )
     )
+    sim = result.simulation
     return BaselineOutcome(
         name="centralized",
         label_length_bits=label_bits,

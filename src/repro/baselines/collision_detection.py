@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from ..backends import SimulationTask, resolve_backend
 from ..graphs.graph import Graph, GraphError
 from ..radio.collision import WithCollisionDetection
 from ..radio.engine import RadioSimulator, SimulationResult
@@ -157,6 +158,8 @@ def run_collision_detection_broadcast(
     payload: str = "MSG",
     max_rounds: Optional[int] = None,
     with_detection: bool = True,
+    backend=None,
+    trace_level: str = "full",
 ) -> BaselineOutcome:
     """Run the anonymous bit-signalling broadcast.
 
@@ -173,23 +176,31 @@ def run_collision_detection_broadcast(
     def factory(node_id: int, label: str, is_source: bool, source_payload: Any) -> BitSignalNode:
         return BitSignalNode(node_id, label, is_source=is_source, source_payload=source_payload)
 
-    sim = RadioSimulator(
-        graph,
-        labels,
-        factory,
-        source=source,
-        source_payload=str(payload),
-        collision_model=WithCollisionDetection() if with_detection else None,
-    )
-
-    def all_decoded(s: RadioSimulator) -> bool:
+    def all_decoded(s) -> bool:
         return all(
             isinstance(node, BitSignalNode) and node.has_decoded for node in s.nodes
         )
 
-    result: SimulationResult = sim.run(budget, stop_condition=all_decoded)
+    # Bit-signalling needs node introspection and the detection channel, so
+    # every backend delegates this task to the reference engine.
+    backend_result = resolve_backend(backend).run_task(
+        SimulationTask(
+            protocol="collision_detection",
+            graph=graph,
+            labels=labels,
+            node_factory=factory,
+            source=source,
+            payload=str(payload),
+            max_rounds=budget,
+            stop_condition=all_decoded,
+            trace_level=trace_level,
+            collision_model=WithCollisionDetection() if with_detection else None,
+        )
+    )
+    result: SimulationResult = backend_result.simulation
     decoded_ok = all(
-        isinstance(node, BitSignalNode) and node.decoded == str(payload) for node in sim.nodes
+        isinstance(node, BitSignalNode) and node.decoded == str(payload)
+        for node in result.nodes
     )
     completion = result.stop_round if (result.completed and decoded_ok) else None
     return BaselineOutcome(

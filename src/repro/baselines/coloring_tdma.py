@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
+from ..backends import SimulationTask, resolve_backend
 from ..graphs.coloring import square_coloring
 from ..graphs.graph import Graph, GraphError
-from ..radio.engine import run_protocol
 from ..radio.messages import Message, source_message
 from ..radio.node import RadioNode
 from .base import BaselineOutcome, bits_needed, int_to_bits
@@ -77,6 +77,8 @@ def run_coloring_tdma(
     *,
     payload: Any = "MSG",
     max_rounds: Optional[int] = None,
+    backend=None,
+    trace_level: str = "full",
 ) -> BaselineOutcome:
     """Run the G²-colouring TDMA baseline and collect comparison metrics."""
     if source not in graph:
@@ -87,20 +89,28 @@ def run_coloring_tdma(
     def factory(node_id: int, label: str, is_source: bool, source_payload: Any) -> ColoringTdmaNode:
         return ColoringTdmaNode(node_id, label, is_source=is_source, source_payload=source_payload)
 
-    sim = run_protocol(
-        graph,
-        labels,
-        factory,
-        source=source,
-        source_payload=payload,
-        max_rounds=budget,
-        stop_condition=lambda s: s.all_informed(),
+    result = resolve_backend(backend).run_task(
+        SimulationTask(
+            protocol="coloring_tdma",
+            graph=graph,
+            labels=labels,
+            node_factory=factory,
+            source=source,
+            payload=payload,
+            max_rounds=budget,
+            stop_rule="all_informed",
+            trace_level=trace_level,
+        )
+    )
+    sim = result.simulation
+    completion = result.derived.get(
+        "completion_round", sim.trace.broadcast_completion_round()
     )
     return BaselineOutcome(
         name="coloring_tdma",
         label_length_bits=max(len(lab) for lab in labels.values()),
         num_distinct_labels=len(set(labels.values())),
-        completion_round=sim.trace.broadcast_completion_round(),
+        completion_round=completion,
         simulation=sim,
         extras={"num_colours": num_colours},
     )

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis import SweepConfig, format_metrics_table, run_sweep
+from .backends import BACKEND_NAMES
 from .core import (
     lambda_ack_scheme,
     lambda_arb_scheme,
@@ -68,6 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default="lambda")
     bcast.add_argument("--source", type=int, default=0)
     bcast.add_argument("--payload", default="MSG")
+    bcast.add_argument("--backend", choices=list(BACKEND_NAMES), default="reference",
+                       help="simulation engine (vectorized = NumPy CSR kernels)")
     bcast.add_argument("--render", action="store_true",
                        help="print the Figure-1 style annotated layers")
 
@@ -78,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sizes", nargs="+", type=int, default=[16, 32])
     sweep.add_argument("--schemes", nargs="+", default=["lambda", "round_robin"])
     sweep.add_argument("--seeds-per-size", type=int, default=1)
+    sweep.add_argument("--backend", choices=list(BACKEND_NAMES), default="reference",
+                       help="simulation engine (vectorized = NumPy CSR kernels)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (results are "
+                            "deterministic and independent of the job count)")
+    sweep.add_argument("--trace-level", choices=["none", "summary", "full"],
+                       default="summary",
+                       help="trace recording level for each simulation")
 
     return parser
 
@@ -100,12 +111,15 @@ def _cmd_label(args) -> int:
 def _cmd_broadcast(args) -> int:
     graph = args.graph
     if args.scheme == "lambda":
-        outcome = run_broadcast(graph, args.source, payload=args.payload)
+        outcome = run_broadcast(graph, args.source, payload=args.payload,
+                                backend=args.backend)
     elif args.scheme == "lambda_ack":
-        outcome = run_acknowledged_broadcast(graph, args.source, payload=args.payload)
+        outcome = run_acknowledged_broadcast(graph, args.source, payload=args.payload,
+                                             backend=args.backend)
     else:
         outcome = run_arbitrary_source_broadcast(graph, true_source=args.source,
-                                                 payload=args.payload)
+                                                 payload=args.payload,
+                                                 backend=args.backend)
     print(f"graph: {graph.summary()}")
     print(f"scheme: {outcome.labeling.scheme} ({outcome.labeling.length} bits)")
     print(f"completion round: {outcome.completion_round} (bound {outcome.bound_broadcast})")
@@ -136,7 +150,8 @@ def _cmd_figure1(args) -> int:
 def _cmd_sweep(args) -> int:
     cfg = SweepConfig(families=args.families, sizes=args.sizes, schemes=args.schemes,
                       seeds_per_size=args.seeds_per_size)
-    rows = run_sweep(cfg)
+    rows = run_sweep(cfg, backend=args.backend, jobs=args.jobs,
+                     trace_level=args.trace_level)
     print(format_metrics_table(rows, title="sweep results"))
     return 0
 

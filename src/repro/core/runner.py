@@ -11,13 +11,20 @@ Each returns a small result record bundling the labeling, the execution trace
 and the headline metrics (completion round, acknowledgement round, message
 counts) together with the theoretical bounds from the paper so callers can
 assert ``result.completion_round <= result.bound_broadcast`` directly.
+
+Every entry point accepts a ``backend`` (``"reference"``, ``"vectorized"``,
+or a :class:`~repro.backends.base.SimulationBackend` instance) and a
+``trace_level`` (``"full"`` / ``"summary"`` / ``"none"``).  The default is
+the faithful object engine with full traces; sweeps and benchmarks pass
+``backend="vectorized", trace_level="summary"`` for speed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
+from ..backends import BackendResult, SimulationBackend, SimulationTask, resolve_backend
 from ..graphs.graph import Graph, GraphError
 from ..radio.clock import ClockModel
 from ..radio.engine import SimulationResult, run_protocol
@@ -34,6 +41,8 @@ __all__ = [
     "run_arbitrary_source_broadcast",
 ]
 
+BackendSpec = Optional[Union[str, SimulationBackend]]
+
 
 @dataclass
 class BroadcastOutcome:
@@ -44,7 +53,8 @@ class BroadcastOutcome:
     labeling:
         The labeling scheme instance used.
     simulation:
-        The raw simulator result (trace + final node objects).
+        The raw simulator result (trace + final node objects; node objects are
+        empty for array backends, which have no per-node state to return).
     completion_round:
         Round in which the last node first heard µ (``None`` if broadcast did
         not complete within the round budget — which would contradict the
@@ -106,6 +116,8 @@ def run_broadcast(
     max_rounds: Optional[int] = None,
     fault_model: Optional[FaultModel] = None,
     clock_model: Optional[ClockModel] = None,
+    backend: BackendSpec = None,
+    trace_level: str = "full",
 ) -> BroadcastOutcome:
     """Label ``graph`` with λ and execute Algorithm B from ``source``.
 
@@ -123,26 +135,37 @@ def run_broadcast(
         Round budget; defaults to the theoretical bound plus slack.
     fault_model / clock_model:
         Optional channel perturbations (see :mod:`repro.radio`).
+    backend / trace_level:
+        Execution engine and trace recording level (see module docstring).
     """
     lab = labeling if labeling is not None else lambda_scheme(graph, source, strategy=strategy)
     if lab.scheme != "lambda":
         raise GraphError(f"run_broadcast expects a λ labeling, got {lab.scheme!r}")
     budget = max_rounds if max_rounds is not None else _broadcast_bound(graph.n) + 4
-    sim = run_protocol(
-        graph,
-        lab.labels,
-        make_broadcast_node,
-        source=source,
-        source_payload=payload,
-        max_rounds=budget,
-        stop_condition=lambda s: s.all_informed(),
-        fault_model=fault_model,
-        clock_model=clock_model,
+    result = resolve_backend(backend).run_task(
+        SimulationTask(
+            protocol="broadcast",
+            graph=graph,
+            labels=lab.labels,
+            node_factory=make_broadcast_node,
+            source=source,
+            payload=payload,
+            max_rounds=budget,
+            stop_rule="all_informed",
+            trace_level=trace_level,
+            fault_model=fault_model,
+            clock_model=clock_model,
+        )
     )
+    sim = result.simulation
+    if "completion_round" in result.derived:
+        completion = result.derived["completion_round"]
+    else:
+        completion = sim.trace.broadcast_completion_round()
     return BroadcastOutcome(
         labeling=lab,
         simulation=sim,
-        completion_round=sim.trace.broadcast_completion_round(),
+        completion_round=completion,
         bound_broadcast=_broadcast_bound(graph.n),
     )
 
@@ -157,6 +180,8 @@ def run_acknowledged_broadcast(
     max_rounds: Optional[int] = None,
     fault_model: Optional[FaultModel] = None,
     clock_model: Optional[ClockModel] = None,
+    backend: BackendSpec = None,
+    trace_level: str = "full",
 ) -> BroadcastOutcome:
     """Label ``graph`` with λ_ack and execute Algorithm B_ack from ``source``."""
     lab = labeling if labeling is not None else lambda_ack_scheme(graph, source, strategy=strategy)
@@ -167,25 +192,34 @@ def run_acknowledged_broadcast(
         # A single-node network: broadcast and acknowledgement are vacuous.
         sim = run_protocol(
             graph, lab.labels, make_acknowledged_node, source=source,
-            source_payload=payload, max_rounds=1,
+            source_payload=payload, max_rounds=1, trace_level=trace_level,
         )
         return BroadcastOutcome(
             labeling=lab, simulation=sim, completion_round=1,
             acknowledgement_round=1, bound_broadcast=1, bound_acknowledgement=2,
         )
-    sim = run_protocol(
-        graph,
-        lab.labels,
-        make_acknowledged_node,
-        source=source,
-        source_payload=payload,
-        max_rounds=budget,
-        stop_condition=lambda s: s.source_acknowledged(),
-        fault_model=fault_model,
-        clock_model=clock_model,
+    result = resolve_backend(backend).run_task(
+        SimulationTask(
+            protocol="acknowledged",
+            graph=graph,
+            labels=lab.labels,
+            node_factory=make_acknowledged_node,
+            source=source,
+            payload=payload,
+            max_rounds=budget,
+            stop_rule="acknowledged",
+            trace_level=trace_level,
+            fault_model=fault_model,
+            clock_model=clock_model,
+        )
     )
-    completion = sim.trace.broadcast_completion_round()
-    ack_round = sim.trace.first_ack_at(source)
+    sim = result.simulation
+    if "completion_round" in result.derived:
+        completion = result.derived["completion_round"]
+        ack_round = result.derived.get("acknowledgement_round")
+    else:
+        completion = sim.trace.broadcast_completion_round()
+        ack_round = sim.trace.first_ack_at(source)
     bound_ack = None
     if completion is not None:
         bound_ack = completion + max(1, graph.n - 2)
@@ -210,6 +244,8 @@ def run_arbitrary_source_broadcast(
     max_rounds: Optional[int] = None,
     fault_model: Optional[FaultModel] = None,
     clock_model: Optional[ClockModel] = None,
+    backend: BackendSpec = None,
+    trace_level: str = "full",
 ) -> BroadcastOutcome:
     """Label ``graph`` with λ_arb (source unknown) and execute B_arb.
 
@@ -234,7 +270,7 @@ def run_arbitrary_source_broadcast(
     if graph.n == 1:
         sim = run_protocol(
             graph, lab.labels, make_arbitrary_node, source=true_source,
-            source_payload=payload, max_rounds=1,
+            source_payload=payload, max_rounds=1, trace_level=trace_level,
         )
         return BroadcastOutcome(
             labeling=lab, simulation=sim, completion_round=1,
@@ -248,25 +284,55 @@ def run_arbitrary_source_broadcast(
             for node in sim.nodes
         )
 
-    sim = run_protocol(
-        graph,
-        lab.labels,
-        make_arbitrary_node,
-        source=true_source,
-        source_payload=payload,
-        max_rounds=budget,
-        stop_condition=everyone_knows_completion,
-        fault_model=fault_model,
-        clock_model=clock_model,
-    )
     coordinator_node = lab.coordinator if lab.coordinator is not None else 0
+    result = resolve_backend(backend).run_task(
+        SimulationTask(
+            protocol="arbitrary",
+            graph=graph,
+            labels=lab.labels,
+            node_factory=make_arbitrary_node,
+            source=true_source,
+            payload=payload,
+            max_rounds=budget,
+            stop_rule="arb_complete",
+            stop_condition=everyone_knows_completion,
+            trace_level=trace_level,
+            fault_model=fault_model,
+            clock_model=clock_model,
+            extras={"coordinator": coordinator_node},
+        )
+    )
+    sim = result.simulation
+    if "completion_round" in result.derived:
+        completion = result.derived["completion_round"]
+        ack_round = result.derived.get("acknowledgement_round")
+        common = result.derived.get("common_completion_round")
+    else:
+        completion, ack_round, common = _derive_arbitrary_outcome(
+            graph, sim, true_source, coordinator_node
+        )
+    return BroadcastOutcome(
+        labeling=lab,
+        simulation=sim,
+        completion_round=completion,
+        acknowledgement_round=ack_round,
+        common_completion_round=common,
+        bound_broadcast=_broadcast_bound(graph.n),
+        extras={"true_source": true_source, "coordinator": coordinator_node},
+    )
+
+
+def _derive_arbitrary_outcome(graph, sim, true_source, coordinator_node):
+    """Assemble B_arb's headline rounds from the trace and node objects.
+
+    Completion for B_arb: every node other than the coordinator and the true
+    source hears µ via a SOURCE message in phase 3; the true source holds µ
+    from the start; the coordinator learns µ from the phase-2 ack payload.
+    The trace-level helper (which requires *every* non-source node to hear a
+    SOURCE message) would therefore never credit the coordinator, so the
+    completion round is assembled here from those three ingredients.
+    """
     ack_round = sim.trace.first_ack_at(coordinator_node)
-    # Completion for B_arb: every node other than the coordinator and the true
-    # source hears µ via a SOURCE message in phase 3; the true source holds µ
-    # from the start; the coordinator learns µ from the phase-2 ack payload.
-    # The trace-level helper (which requires *every* non-source node to hear a
-    # SOURCE message) would therefore never credit the coordinator, so the
-    # completion round is assembled here from those three ingredients.
     receipt_rounds = []
     missing = False
     for v in graph.nodes():
@@ -285,13 +351,9 @@ def run_arbitrary_source_broadcast(
     )
     coordinator_learned_round = None
     if coordinator_node != true_source:
-        ack_receipts = [
-            r.round_number
-            for r in sim.trace.rounds
-            if coordinator_node in r.receptions and r.receptions[coordinator_node].is_ack
-        ]
-        # The phase-2 ack (the one carrying µ) is the last ack the coordinator hears.
-        coordinator_learned_round = ack_receipts[-1] if ack_receipts else None
+        # The phase-2 ack (the one carrying µ) is the last ack the coordinator
+        # hears; the trace tracks it incrementally at every level.
+        coordinator_learned_round = sim.trace.last_ack_at(coordinator_node)
     completion = None
     if not missing and (coordinator_knows or coordinator_node == true_source):
         candidates = list(receipt_rounds)
@@ -306,12 +368,4 @@ def run_arbitrary_source_broadcast(
     common = None
     if len(common_rounds) == 1 and None not in common_rounds:
         common = common_rounds.pop()
-    return BroadcastOutcome(
-        labeling=lab,
-        simulation=sim,
-        completion_round=completion,
-        acknowledgement_round=ack_round,
-        common_completion_round=common,
-        bound_broadcast=_broadcast_bound(graph.n),
-        extras={"true_source": true_source, "coordinator": coordinator_node},
-    )
+    return completion, ack_round, common

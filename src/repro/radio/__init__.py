@@ -30,7 +30,15 @@ from .messages import (
     stay_message,
 )
 from .node import HistoryEntry, RadioNode, SilentNode
-from .trace import ExecutionTrace, RoundRecord
+from .trace import (
+    TRACE_FULL,
+    TRACE_LEVELS,
+    TRACE_NONE,
+    TRACE_SUMMARY,
+    ExecutionTrace,
+    RoundRecord,
+    TraceLevelError,
+)
 
 __all__ = [
     "ACK",
@@ -38,6 +46,11 @@ __all__ = [
     "READY",
     "SOURCE",
     "STAY",
+    "TRACE_FULL",
+    "TRACE_LEVELS",
+    "TRACE_NONE",
+    "TRACE_SUMMARY",
+    "TraceLevelError",
     "ClockModel",
     "CollisionModel",
     "CompositeFaults",

@@ -80,6 +80,10 @@ class RadioSimulator:
         The source message µ handed to the source node.
     collision_model / fault_model / clock_model:
         Channel semantics; the defaults reproduce the paper's model exactly.
+    trace_level:
+        Trace recording level (see :mod:`repro.radio.trace`): ``"full"``
+        keeps every round record, ``"summary"``/``"none"`` keep only O(n)
+        aggregates (headline metrics still work; per-round access raises).
     """
 
     def __init__(
@@ -93,6 +97,7 @@ class RadioSimulator:
         collision_model: Optional[CollisionModel] = None,
         fault_model: Optional[FaultModel] = None,
         clock_model: Optional[ClockModel] = None,
+        trace_level: str = "full",
     ) -> None:
         if source is not None and source not in graph:
             raise GraphError(f"source {source} is not a node of {graph!r}")
@@ -115,7 +120,10 @@ class RadioSimulator:
             )
             for v in graph.nodes()
         ]
-        self.trace = ExecutionTrace(num_nodes=graph.n, source=source)
+        # The engine builds RoundRecords either way, so "none" is recorded as
+        # "summary" here; only array backends can skip per-round bookkeeping.
+        level = "summary" if trace_level == "none" else trace_level
+        self.trace = ExecutionTrace(num_nodes=graph.n, source=source, level=level)
         self._round = 0
         # Pre-extract CSR arrays for the vectorised collision resolution.
         self._indptr, self._indices = graph.csr()
@@ -274,6 +282,7 @@ def run_protocol(
     fault_model: Optional[FaultModel] = None,
     clock_model: Optional[ClockModel] = None,
     stop_on_quiescence: bool = False,
+    trace_level: str = "full",
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`RadioSimulator` and run it.
 
@@ -291,5 +300,6 @@ def run_protocol(
         collision_model=collision_model,
         fault_model=fault_model,
         clock_model=clock_model,
+        trace_level=trace_level,
     )
     return sim.run(max_rounds, stop_condition, stop_on_quiescence=stop_on_quiescence)

@@ -1,0 +1,211 @@
+"""Equivalence suite: the vectorized backend must match the reference engine.
+
+The vectorized CSR kernels re-implement the decision rules of B, B_ack, B_arb
+and the round-robin / TDMA baselines as array operations.  These tests pin
+them to the faithful object engine **bit for bit** on a grid of graph families
+× sizes × seeds: identical completion and acknowledgement rounds, identical
+transmission / collision / reception counts, identical message-bit totals and
+kind histograms — and, on a subset, identical full-trace JSON (every message
+of every round, stamps and payloads included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    BackendError,
+    ReferenceBackend,
+    SimulationTask,
+    VectorizedBackend,
+    resolve_backend,
+)
+from repro.baselines import run_coloring_tdma, run_round_robin
+from repro.core import (
+    run_acknowledged_broadcast,
+    run_arbitrary_source_broadcast,
+    run_broadcast,
+)
+from repro.core.labeling import lambda_ack_scheme, lambda_arb_scheme, lambda_scheme
+from repro.graphs import generate_family
+
+# The equivalence grid: families × sizes, with per-(family, size) seeds.
+FAMILIES = ["path", "cycle", "star", "grid", "gnp_sparse", "geometric"]
+SIZES = [9, 16, 25]
+SEEDS = [1, 7]
+
+GRID = [
+    (family, size, seed)
+    for family in FAMILIES
+    for size in SIZES
+    for seed in SEEDS[: (2 if family in ("gnp_sparse", "geometric") else 1)]
+]
+GRID_IDS = [f"{f}-{n}-s{s}" for f, n, s in GRID]
+
+
+def _instance(family: str, size: int, seed: int):
+    graph = generate_family(family, size, seed)
+    source = seed % graph.n
+    return graph, source
+
+
+def _trace_fingerprint(trace):
+    return {
+        "rounds": trace.num_rounds,
+        "transmissions": trace.total_transmissions(),
+        "receptions": trace.total_receptions(),
+        "collisions": trace.total_collisions(),
+        "kinds": trace.transmissions_by_kind(),
+        "bits": trace.total_message_bits(),
+    }
+
+
+def _outcome_fingerprint(outcome):
+    return {
+        "completion": outcome.completion_round,
+        "ack": outcome.acknowledgement_round,
+        "common": outcome.common_completion_round,
+        "stop_round": outcome.simulation.stop_round,
+        "stop_reason": outcome.simulation.stop_reason,
+        **_trace_fingerprint(outcome.trace),
+    }
+
+
+def _baseline_fingerprint(outcome):
+    return {
+        "completion": outcome.completion_round,
+        "stop_round": outcome.simulation.stop_round,
+        "stop_reason": outcome.simulation.stop_reason,
+        **_trace_fingerprint(outcome.simulation.trace),
+    }
+
+
+class TestLabeledProtocolEquivalence:
+    @pytest.mark.parametrize("family,size,seed", GRID, ids=GRID_IDS)
+    def test_broadcast_identical(self, family, size, seed):
+        graph, source = _instance(family, size, seed)
+        labeling = lambda_scheme(graph, source)
+        ref = run_broadcast(graph, source, labeling=labeling,
+                            backend="reference", trace_level="summary")
+        vec = run_broadcast(graph, source, labeling=labeling,
+                            backend="vectorized", trace_level="summary")
+        assert _outcome_fingerprint(vec) == _outcome_fingerprint(ref)
+        assert ref.completed and vec.completed
+
+    @pytest.mark.parametrize("family,size,seed", GRID, ids=GRID_IDS)
+    def test_acknowledged_identical(self, family, size, seed):
+        graph, source = _instance(family, size, seed)
+        labeling = lambda_ack_scheme(graph, source)
+        ref = run_acknowledged_broadcast(graph, source, labeling=labeling,
+                                         backend="reference", trace_level="summary")
+        vec = run_acknowledged_broadcast(graph, source, labeling=labeling,
+                                         backend="vectorized", trace_level="summary")
+        assert _outcome_fingerprint(vec) == _outcome_fingerprint(ref)
+        assert ref.acknowledgement_round is not None
+        assert vec.acknowledgement_round == ref.acknowledgement_round
+
+    @pytest.mark.parametrize("family,size,seed", GRID, ids=GRID_IDS)
+    def test_arbitrary_identical(self, family, size, seed):
+        graph, source = _instance(family, size, seed)
+        coordinator = (source + 1) % graph.n
+        labeling = lambda_arb_scheme(graph, coordinator=coordinator)
+        ref = run_arbitrary_source_broadcast(
+            graph, true_source=source, labeling=labeling,
+            backend="reference", trace_level="summary",
+        )
+        vec = run_arbitrary_source_broadcast(
+            graph, true_source=source, labeling=labeling,
+            backend="vectorized", trace_level="summary",
+        )
+        assert _outcome_fingerprint(vec) == _outcome_fingerprint(ref)
+
+
+class TestBaselineEquivalence:
+    @pytest.mark.parametrize("family,size,seed", GRID, ids=GRID_IDS)
+    def test_round_robin_identical(self, family, size, seed):
+        graph, source = _instance(family, size, seed)
+        ref = run_round_robin(graph, source, backend="reference", trace_level="summary")
+        vec = run_round_robin(graph, source, backend="vectorized", trace_level="summary")
+        assert _baseline_fingerprint(vec) == _baseline_fingerprint(ref)
+
+    @pytest.mark.parametrize("family,size,seed", GRID, ids=GRID_IDS)
+    def test_coloring_tdma_identical(self, family, size, seed):
+        graph, source = _instance(family, size, seed)
+        ref = run_coloring_tdma(graph, source, backend="reference", trace_level="summary")
+        vec = run_coloring_tdma(graph, source, backend="vectorized", trace_level="summary")
+        assert _baseline_fingerprint(vec) == _baseline_fingerprint(ref)
+
+
+class TestFullTraceEquivalence:
+    """Byte-level trace equality: every message of every round must match."""
+
+    CASES = [("path", 16, 1), ("grid", 16, 1), ("gnp_sparse", 25, 7), ("geometric", 16, 1)]
+
+    @pytest.mark.parametrize("family,size,seed", CASES,
+                             ids=[f"{f}-{n}" for f, n, _ in CASES])
+    @pytest.mark.parametrize("scheme", ["lambda", "lambda_ack", "lambda_arb"])
+    def test_trace_json_identical(self, scheme, family, size, seed):
+        graph, source = _instance(family, size, seed)
+        runner = {
+            "lambda": run_broadcast,
+            "lambda_ack": run_acknowledged_broadcast,
+            "lambda_arb": lambda g, s, **kw: run_arbitrary_source_broadcast(
+                g, true_source=s, coordinator=(s + 1) % g.n, **kw
+            ),
+        }[scheme]
+        ref = runner(graph, source, backend="reference", trace_level="full")
+        vec = runner(graph, source, backend="vectorized", trace_level="full")
+        assert vec.trace.to_json() == ref.trace.to_json()
+
+
+class TestBackendPlumbing:
+    def test_resolve_backend_names_and_instances(self):
+        ref = resolve_backend("reference")
+        assert isinstance(ref, ReferenceBackend)
+        assert resolve_backend("reference") is ref  # shared instance
+        assert resolve_backend(None) is ref
+        vec = VectorizedBackend()
+        assert resolve_backend(vec) is vec
+
+    def test_resolve_backend_rejects_unknown(self):
+        with pytest.raises(BackendError):
+            resolve_backend("warp-drive")
+
+    def test_vectorized_falls_back_for_unsupported_models(self):
+        from repro.radio.clock import OffsetClocks
+
+        graph, source = _instance("path", 9, 1)
+        # Offset clocks are outside the kernels' model: the vectorized backend
+        # must delegate to the reference engine and still be correct.
+        clock = OffsetClocks({v: 3 for v in graph.nodes()})
+        ref = run_broadcast(graph, source, clock_model=clock, backend="reference")
+        vec = run_broadcast(graph, source, clock_model=clock, backend="vectorized")
+        assert vec.completion_round == ref.completion_round
+        assert len(vec.simulation.nodes) == len(ref.simulation.nodes)  # object engine ran
+
+    def test_vectorized_strict_raises_for_unsupported(self):
+        graph, source = _instance("path", 9, 1)
+        labeling = lambda_scheme(graph, source)
+        strict = VectorizedBackend(strict=True)
+        task = SimulationTask(
+            protocol="centralized",
+            graph=graph,
+            labels=labeling.labels,
+            source=source,
+            max_rounds=5,
+        )
+        with pytest.raises(BackendError):
+            strict.run_task(task)
+
+    def test_vectorized_supports_the_compiled_protocols(self):
+        graph, source = _instance("grid", 9, 1)
+        labeling = lambda_scheme(graph, source)
+        vec = VectorizedBackend()
+        for protocol in ("broadcast", "acknowledged", "arbitrary",
+                         "round_robin", "coloring_tdma"):
+            task = SimulationTask(protocol=protocol, graph=graph,
+                                  labels=labeling.labels, source=source, max_rounds=1)
+            assert vec.supports(task)
+        task = SimulationTask(protocol="custom", graph=graph,
+                              labels=labeling.labels, source=source, max_rounds=1)
+        assert not vec.supports(task)

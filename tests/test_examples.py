@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -9,14 +10,20 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
 
 def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    # Prepend src/ so the examples find the package whether or not it is
+    # installed (pytest's own `pythonpath` setting does not reach children).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script), *args],
         capture_output=True,
         text=True,
         timeout=240,
+        env=env,
     )
 
 

@@ -15,10 +15,10 @@ quantifying:
 
 from __future__ import annotations
 
+from repro import api
 from repro.analysis import format_table
 from repro.core import lambda_scheme, run_broadcast
 from repro.graphs import generate_family
-from repro.radio import TransmissionDropFaults
 from conftest import report
 
 FAMILIES = ["grid", "gnp_sparse", "geometric", "gnp_dense"]
@@ -57,15 +57,17 @@ def bench_domination_strategy_ablation(benchmark):
 
 
 def _fault_sweep():
+    # Channel loss as a declarative scenario axis: each trial is a
+    # serializable config the unified API (or a worker process) can replay.
     rows = []
     graph = generate_family("geometric", 80, seed=21)
     for drop in (0.0, 0.01, 0.05, 0.1, 0.2, 0.4):
         successes = 0
         trials = 5
         for seed in range(trials):
-            fault = TransmissionDropFaults(drop, seed=seed) if drop > 0 else None
-            outcome = run_broadcast(graph, 0, fault_model=fault,
-                                    max_rounds=4 * graph.n)
+            fault_spec = {"kind": "drop", "prob": drop, "seed": seed} if drop > 0 else None
+            outcome = api.run(api.Scenario(graph="geometric:80:21", scheme="lambda",
+                                           faults=fault_spec, max_rounds=4 * graph.n))
             successes += int(outcome.completed)
         rows.append({
             "loss probability": drop,

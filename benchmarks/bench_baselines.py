@@ -12,12 +12,8 @@ while λ stays at 2).
 
 from __future__ import annotations
 
-from repro.analysis import (
-    SweepConfig,
-    format_comparison,
-    format_metrics_table,
-    run_sweep,
-)
+from repro.analysis import format_comparison, format_metrics_table
+from repro.api import GridConfig, run_grid
 from conftest import report
 
 FAMILIES = ["path", "grid", "gnp_sparse", "geometric", "star"]
@@ -26,9 +22,9 @@ SCHEMES = ["lambda", "round_robin", "coloring_tdma", "collision_detection", "cen
 
 
 def _sweep():
-    cfg = SweepConfig(families=FAMILIES, sizes=SIZES, schemes=SCHEMES,
-                      seeds_per_size=1, source_rule="zero")
-    return run_sweep(cfg)
+    cfg = GridConfig(families=FAMILIES, sizes=SIZES, schemes=SCHEMES,
+                     seeds_per_size=1, source_rule="zero")
+    return run_grid(cfg)
 
 
 def bench_baseline_comparison(benchmark):

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import SweepConfig, format_table, run_sweep
+from repro.analysis import format_table
+from repro.api import GridConfig, run_grid
 from repro.core import run_broadcast
 from repro.graphs import path_graph
 from conftest import report
@@ -21,9 +22,9 @@ SIZES = [16, 32, 64, 128]
 
 
 def _sweep_rows():
-    cfg = SweepConfig(families=FAMILIES, sizes=SIZES, schemes=["lambda"],
-                      seeds_per_size=1, source_rule="zero")
-    return run_sweep(cfg)
+    cfg = GridConfig(families=FAMILIES, sizes=SIZES, schemes=["lambda"],
+                     seeds_per_size=1, source_rule="zero")
+    return run_grid(cfg)
 
 
 def bench_theorem_2_9_bound_sweep(benchmark):

@@ -182,17 +182,17 @@ def bench_parallel_sweep_executor():
     """
     import os
 
-    from repro.analysis import SweepConfig, run_sweep_parallel
+    from repro.api import GridConfig, run_grid
 
-    cfg = SweepConfig(families=["path"], sizes=[192], seeds_per_size=8,
-                      schemes=["lambda"])
+    cfg = GridConfig(families=["path"], sizes=[192], seeds_per_size=8,
+                     schemes=["lambda"])
     cores = os.cpu_count() or 1
     jobs = min(4, cores)
     start = time.perf_counter()
-    serial_rows = run_sweep_parallel(cfg, jobs=1)
+    serial_rows = run_grid(cfg, jobs=1)
     serial_wall = time.perf_counter() - start
     start = time.perf_counter()
-    parallel_rows = run_sweep_parallel(cfg, jobs=jobs)
+    parallel_rows = run_grid(cfg, jobs=jobs)
     parallel_wall = time.perf_counter() - start
     assert parallel_rows == serial_rows, "rows must be independent of --jobs"
     if cores >= 4:

@@ -12,6 +12,11 @@ that:
 * all nodes learn, in a single common round, that the broadcast is complete
   (the acknowledged property of Section 4.2's three-phase algorithm).
 
+The failover loop drives the registered `"lambda_arb"` scheme from the
+unified registry (`repro.api`), reusing one precomputed labeling across
+sources; the legacy `run_arbitrary_source_broadcast(...)` entry point remains
+as a thin compatibility wrapper over the same scheme.
+
 Run:  python examples/arbitrary_source_failover.py [--nodes 40] [--seed 3]
 """
 
@@ -19,7 +24,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import lambda_arb_scheme, run_arbitrary_source_broadcast
+from repro import api
+from repro.core import lambda_arb_scheme
 from repro.graphs import random_gnp_graph
 
 
@@ -39,10 +45,11 @@ def main() -> None:
           f"{labeling.num_distinct_labels()} distinct labels; "
           f"coordinator r = node {labeling.coordinator}, acknowledger z = node {labeling.acknowledger}")
 
+    arb = api.get_scheme("lambda_arb")
     step = max(1, graph.n // args.sources)
     for source in list(range(0, graph.n, step))[: args.sources]:
-        outcome = run_arbitrary_source_broadcast(
-            graph, true_source=source, labeling=labeling, payload=f"event-from-{source}"
+        outcome = arb.run(
+            graph, source, labeling=labeling, payload=f"event-from-{source}"
         )
         status = "OK" if outcome.completed and outcome.common_completion_round else "FAILED"
         print(f"  source = node {source:3d}: delivered by round {outcome.completion_round}, "

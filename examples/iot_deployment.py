@@ -9,14 +9,17 @@ short labels to the devices, enabling multiple executions of the universal
 broadcast."  (Section 1.2)
 
 This example plays that scenario out on a random geometric (unit-disk) graph,
-the standard model of physically deployed radios:
+the standard model of physically deployed radios, using the unified scheme
+registry (`repro.api`):
 
 * the monitor computes λ_ack once (3 bits per device);
-* the gateway then broadcasts a stream of messages, starting each one only
-  after the acknowledgement of the previous one arrives (exactly the pacing
-  the paper says acknowledged broadcast enables);
-* for comparison, the same workload is run with the folklore O(log n)-bit
-  round-robin labels, and the label memory needed by each approach is printed.
+* the gateway then broadcasts a stream of messages through the registered
+  `"lambda_ack"` scheme, reusing the one labeling and starting each message
+  only after the acknowledgement of the previous one arrives (exactly the
+  pacing the paper says acknowledged broadcast enables);
+* for comparison, the same workload is run with the registered
+  `"round_robin"` scheme (folklore O(log n)-bit labels), and the label memory
+  needed by each approach is printed.
 
 Run:  python examples/iot_deployment.py [--devices 60] [--range 0.25]
       [--messages 5] [--seed 7]
@@ -26,9 +29,9 @@ from __future__ import annotations
 
 import argparse
 
+from repro import api
 from repro.analysis import round_robin_label_bits
-from repro.baselines import run_round_robin
-from repro.core import lambda_ack_scheme, run_acknowledged_broadcast
+from repro.core import lambda_ack_scheme
 from repro.graphs import random_geometric_graph, source_radius
 
 
@@ -52,11 +55,14 @@ def main() -> None:
     print(f"Monitor assigns λ_ack labels: {labeling.length} bits/device, "
           f"{labeling.num_distinct_labels()} distinct roles")
 
-    # The gateway streams messages, pacing on acknowledgements.
+    # The gateway streams messages, pacing on acknowledgements.  (The legacy
+    # compatibility path `run_acknowledged_broadcast(network, gateway,
+    # labeling=labeling, ...)` is a thin wrapper over this same scheme.)
+    ack_scheme = api.get_scheme("lambda_ack")
     total_rounds = 0
     total_messages = 0
     for k in range(args.messages):
-        outcome = run_acknowledged_broadcast(
+        outcome = ack_scheme.run(
             network, args.gateway, labeling=labeling, payload=f"firmware-chunk-{k}"
         )
         assert outcome.completed, "broadcast must complete (Theorem 3.9)"
@@ -70,11 +76,11 @@ def main() -> None:
           f"{total_messages} transmissions, with only 3 bits of state per device.")
 
     # The folklore alternative: unique O(log n)-bit identifiers.
-    rr = run_round_robin(network, args.gateway)
-    print(f"\nRound-robin comparison: {rr.label_length_bits} bits/device "
+    rr = api.get_scheme("round_robin").run(network, args.gateway)
+    print(f"\nRound-robin comparison: {rr.label_bits} bits/device "
           f"(formula: {round_robin_label_bits(network.n)}), one message needs "
           f"{rr.completion_round} rounds and {rr.total_transmissions} transmissions.")
-    per_device_saving = rr.label_length_bits - labeling.length
+    per_device_saving = rr.label_bits - labeling.length
     print(f"Label memory saved by the paper's scheme: {per_device_saving} bits per device "
           f"({per_device_saving * network.n} bits across the deployment).")
 

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Quickstart: label a radio network with 2-bit labels and broadcast.
 
-This walks through the paper's headline result end to end:
+This walks through the paper's headline result end to end, on the unified
+experiment API (`repro.api`):
 
 1. build a small network (a 5x5 grid by default),
-2. compute the 2-bit labeling scheme λ (which may inspect the whole graph),
-3. run the universal Algorithm B, in which every node only knows its own
-   2 bits and what it has heard,
+2. describe the experiment as a declarative `Scenario` (which round-trips
+   through JSON — the same config runs from `repro run scenario.json`),
+3. execute it with `api.run`: the λ labeling (2 bits per node) is computed
+   from the whole graph, then the universal Algorithm B runs with every node
+   knowing only its own 2 bits and what it has heard,
 4. check the outcome against Theorem 2.9's bound of 2n - 3 rounds and against
    the Lemma 2.8 round-by-round characterisation,
 5. print a Figure-1 style annotated rendering of the execution.
@@ -18,7 +21,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import lambda_scheme, run_broadcast, verify_broadcast_outcome
+from repro import api
+from repro.core import run_broadcast, verify_broadcast_outcome
 from repro.graphs import grid_graph
 from repro.viz import render_labeled_layers, render_round_table, transmit_receive_maps
 
@@ -33,14 +37,18 @@ def main() -> None:
     graph = grid_graph(args.rows, args.cols)
     print(f"Network: {graph.summary()}")
 
-    # The labeling scheme sees the whole topology...
-    labeling = lambda_scheme(graph, args.source)
+    # The whole experiment as declarative data (try scenario.to_json()):
+    scenario = api.Scenario(graph=graph, scheme="lambda", source=args.source,
+                            payload="hello-radio")
+    outcome = api.run(scenario)
+
+    # The labeling scheme saw the whole topology; the algorithm saw only each
+    # node's own 2 bits.
+    labeling = outcome.labeling
     print(f"Labeling scheme λ: length {labeling.length} bits, "
           f"{labeling.num_distinct_labels()} distinct labels "
           f"{sorted(labeling.label_histogram().items())}")
 
-    # ...but the algorithm only sees each node's own 2 bits.
-    outcome = run_broadcast(graph, args.source, labeling=labeling, payload="hello-radio")
     print(f"\nBroadcast completed in round {outcome.completion_round} "
           f"(Theorem 2.9 bound: {outcome.bound_broadcast} rounds)")
     print(f"Transmissions: {outcome.total_transmissions}, "
@@ -49,6 +57,11 @@ def main() -> None:
     violations = verify_broadcast_outcome(graph, outcome)
     print(f"Verification against the paper's lemmas: "
           f"{'PASS' if not violations else violations}")
+
+    # Compatibility path: the classic per-scheme entry point is a thin wrapper
+    # over the same scheme registry and returns the same unified Outcome.
+    legacy = run_broadcast(graph, args.source, payload="hello-radio")
+    assert legacy.completion_round == outcome.completion_round
 
     transmit, receive = transmit_receive_maps(outcome.trace)
     print("\nFigure-1 style rendering (node:label{transmit rounds}(receive rounds)):")

@@ -11,7 +11,9 @@ Here the "roles" are the distinct label values: the controller computes λ (or
 λ_ack) once and each switch only needs to know which of the ≤ 4 (resp. ≤ 5)
 roles it plays.  The example prints the role table for a fat-tree-ish data
 centre topology and contrasts the number of roles with what a G²-colouring
-TDMA assignment would need.
+TDMA assignment would need.  Both executions go through the unified scheme
+registry (`repro.api`): the topology is inline (not a generator family), so
+this doubles as a demonstration of inline-graph scenarios.
 
 Run:  python examples/sdn_roles.py [--pods 4]
 """
@@ -21,8 +23,9 @@ from __future__ import annotations
 import argparse
 from collections import Counter
 
-from repro.baselines import coloring_tdma_labels, run_coloring_tdma
-from repro.core import lambda_ack_scheme, lambda_scheme, run_broadcast
+from repro import api
+from repro.baselines import coloring_tdma_labels
+from repro.core import lambda_ack_scheme, lambda_scheme
 from repro.graphs import GraphBuilder
 
 
@@ -67,7 +70,11 @@ def main() -> None:
         desc = ROLE_DESCRIPTIONS.get(role, "")
         print(f"  role {role}: {count:3d} switches  — {desc}")
 
-    outcome = run_broadcast(graph, controller, labeling=labeling, payload="flow-table-update")
+    # An inline-graph scenario: the whole experiment is declarative data and
+    # could be saved with scenario.save(...) and replayed by `repro run`.
+    scenario = api.Scenario(graph=graph, scheme="lambda", source=controller,
+                            payload="flow-table-update")
+    outcome = api.run(scenario)
     print(f"Broadcast of a flow-table update completes in {outcome.completion_round} rounds "
           f"(bound {outcome.bound_broadcast}).")
 
@@ -77,9 +84,9 @@ def main() -> None:
           f"adds the acknowledger role at node {ack.acknowledger}.")
 
     tdma_labels, colours = coloring_tdma_labels(graph)
-    tdma = run_coloring_tdma(graph, controller)
+    tdma = api.get_scheme("coloring_tdma").run(graph, controller)
     print(f"\nG²-colouring TDMA alternative: {colours} roles "
-          f"({tdma.label_length_bits} bits per switch), broadcast in {tdma.completion_round} rounds.")
+          f"({tdma.label_bits} bits per switch), broadcast in {tdma.completion_round} rounds.")
     print(f"Role-count ratio (TDMA / λ): {colours / len(roles):.1f}x")
 
 

@@ -40,6 +40,7 @@ from .graphs import (
 from .core import (
     BroadcastOutcome,
     Labeling,
+    Outcome,
     build_sequences,
     lambda_ack_scheme,
     lambda_arb_scheme,
@@ -50,6 +51,7 @@ from .core import (
     verify_broadcast_outcome,
 )
 from .radio import ExecutionTrace, Message, RadioSimulator, run_protocol
+from . import api
 
 __version__ = "1.0.0"
 
@@ -61,8 +63,10 @@ __all__ = [
     "GraphError",
     "Labeling",
     "Message",
+    "Outcome",
     "RadioSimulator",
     "__version__",
+    "api",
     "build_sequences",
     "complete_graph",
     "cycle_graph",

@@ -16,10 +16,17 @@ from .metrics import (
     message_bits_total,
     metrics_from_baseline,
     metrics_from_outcome,
+    metrics_from_run,
     per_round_transmitter_counts,
 )
 from .executor import chunk_specs, default_jobs, run_sweep_parallel
-from .report import format_comparison, format_metrics_table, format_table
+from .report import (
+    format_comparison,
+    format_metrics_table,
+    format_table,
+    metrics_to_csv,
+    metrics_to_json,
+)
 from .sweep import (
     SCHEME_RUNNERS,
     SweepConfig,
@@ -55,6 +62,9 @@ __all__ = [
     "message_bits_total",
     "metrics_from_baseline",
     "metrics_from_outcome",
+    "metrics_from_run",
+    "metrics_to_csv",
+    "metrics_to_json",
     "per_round_transmitter_counts",
     "round_robin_label_bits",
     "run_sweep",

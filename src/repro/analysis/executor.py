@@ -1,39 +1,22 @@
-"""Batched parallel sweep executor.
+"""Parallel sweep execution: chunking utilities + the legacy entry point.
 
-Sweeps are embarrassingly parallel — every (instance, scheme) cell is an
-independent simulation — but naively pickling :class:`~repro.graphs.graph.
-Graph` objects to workers would ship megabytes of adjacency per task.  The
-executor instead fans out **instance specs** (``family, size, rep`` triples):
-workers regenerate each graph from its seed-derived spec, which is exact
-because instance seeds are stable across processes (see
-:func:`repro.analysis.sweep.instance_seed`), and return only the flat
-:class:`~repro.analysis.metrics.RunMetrics` rows.
-
-Determinism guarantees:
-
-* chunking is a pure function of the instance list and the chunk size —
-  never of scheduling order;
-* results are merged in sweep order (``chunk index → instance → scheme``),
-  so ``run_sweep_parallel(cfg, jobs=8)`` returns exactly the rows of
-  ``run_sweep(cfg)`` in the same order, for any job count.
+The actual process-pool fan-out lives in :mod:`repro.api.grid` since the
+unified experiment API landed: work units are plain serializable cell specs
+(``family, size, rep, fault_spec, clock_spec``) that workers rematerialize,
+which keeps results deterministic and independent of the job count.  This
+module keeps the deterministic chunking helpers (pure functions of the spec
+list, never of scheduling order) and :func:`run_sweep_parallel`, the legacy
+wrapper over :func:`repro.api.run_grid`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict
-from typing import List, Optional, Sequence, Tuple
-
-from ..backends import BACKEND_NAMES
-from .metrics import RunMetrics
-from .sweep import SCHEME_RUNNERS, SweepConfig, instance_specs, materialize_instance
+from typing import List, Optional, Sequence, TypeVar
 
 __all__ = ["default_jobs", "chunk_specs", "run_sweep_parallel"]
 
-#: One work unit: the sweep config (as a dict), a list of instance specs and
-#: the execution knobs.  Everything inside is plain picklable data.
-_ChunkPayload = Tuple[dict, List[Tuple[str, int, int]], Optional[str], str]
+_Spec = TypeVar("_Spec")
 
 
 def default_jobs() -> int:
@@ -41,9 +24,7 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def chunk_specs(
-    specs: Sequence[Tuple[str, int, int]], chunk_size: int
-) -> List[List[Tuple[str, int, int]]]:
+def chunk_specs(specs: Sequence[_Spec], chunk_size: int) -> List[List[_Spec]]:
     """Split instance specs into contiguous chunks of at most ``chunk_size``.
 
     Chunk boundaries depend only on the spec order and the chunk size, so the
@@ -55,75 +36,29 @@ def chunk_specs(
     return [list(specs[i : i + chunk_size]) for i in range(0, len(specs), chunk_size)]
 
 
-def _run_chunk(payload: _ChunkPayload) -> List[RunMetrics]:
-    """Worker entry point: materialise each spec'd instance and run every scheme."""
-    config_dict, chunk, backend, trace_level = payload
-    config = SweepConfig(**config_dict)
-    rows: List[RunMetrics] = []
-    for family, size, rep in chunk:
-        instance = materialize_instance(config, family, size, rep)
-        for scheme in config.schemes:
-            rows.append(
-                SCHEME_RUNNERS[scheme](instance, backend=backend, trace_level=trace_level)
-            )
-    return rows
-
-
 def run_sweep_parallel(
-    config: SweepConfig,
+    config,
     *,
     jobs: Optional[int] = None,
     backend=None,
     trace_level: str = "summary",
     chunk_size: Optional[int] = None,
-) -> List[RunMetrics]:
-    """Run a sweep with instances fanned out over a process pool.
+):
+    """Run a legacy sweep with instances fanned out over a process pool.
 
-    Parameters
-    ----------
-    config:
-        The sweep grid; see :class:`~repro.analysis.sweep.SweepConfig`.
-    jobs:
-        Worker process count (default: CPU count).  ``jobs=1`` runs inline
-        without a pool.
-    backend / trace_level:
-        Forwarded to every scheme runner.  ``backend`` may be a registry name
-        or an instance of a registered backend class; instances are reduced
-        to their name so only plain data crosses the process boundary (each
-        worker rebuilds a default-configured backend — per-instance knobs
-        such as ``VectorizedBackend(strict=True)`` do not travel).  Custom
-        backend objects outside the registry are rejected: a worker could
-        not reconstruct them.
-    chunk_size:
-        Instances per work unit.  Defaults to ~4 chunks per worker, bounded
-        below by 1.  The same config + chunk_size always yields the same
-        chunks, whatever the job count.
+    Deprecated alias of ``repro.api.run_grid(GridConfig.from_sweep(config),
+    jobs=...)``.  ``jobs=None`` uses the CPU count; ``jobs=1`` runs inline
+    without a pool.  ``backend`` may be a registry name or an instance of a
+    registered backend class (reduced to its name, since only plain data
+    crosses the process boundary); custom backend objects outside the
+    registry are rejected.
     """
-    unknown = [s for s in config.schemes if s not in SCHEME_RUNNERS]
-    if unknown:
-        raise ValueError(f"unknown schemes {unknown}; known: {sorted(SCHEME_RUNNERS)}")
-    if backend is not None and not isinstance(backend, str):
-        name = getattr(backend, "name", None)
-        if name not in BACKEND_NAMES:
-            raise ValueError(
-                f"parallel sweeps need a registered backend name "
-                f"{sorted(BACKEND_NAMES)}, got instance {backend!r} with name "
-                f"{name!r}; run with jobs=1 to use a custom backend object"
-            )
-        backend = name
-    jobs = default_jobs() if jobs is None else max(1, int(jobs))
-    specs = instance_specs(config)
-    if not specs:
-        return []
-    if chunk_size is None:
-        chunk_size = max(1, (len(specs) + jobs * 4 - 1) // (jobs * 4))
-    chunks = chunk_specs(specs, chunk_size)
-    payloads: List[_ChunkPayload] = [
-        (asdict(config), chunk, backend, trace_level) for chunk in chunks
-    ]
-    if jobs == 1 or len(chunks) == 1:
-        results = [_run_chunk(p) for p in payloads]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            results = list(pool.map(_run_chunk, payloads))
-    return [row for chunk_rows in results for row in chunk_rows]
+    from ..api.grid import GridConfig, run_grid
+
+    return run_grid(
+        GridConfig.from_sweep(config),
+        backend=backend,
+        trace_level=trace_level,
+        jobs=default_jobs() if jobs is None else jobs,
+        chunk_size=chunk_size,
+    )

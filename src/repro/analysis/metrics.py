@@ -1,26 +1,27 @@
 """Metrics extracted from executions, in a report-friendly flat form.
 
-Everything the benchmark tables print is computed here, from either a
-:class:`~repro.core.runner.BroadcastOutcome` (the paper's schemes) or a
-:class:`~repro.baselines.base.BaselineOutcome` (the comparison schemes), so
-that the two kinds of run share one schema.
+Everything the benchmark tables print is computed here from the unified
+:class:`~repro.core.outcome.Outcome` — paper schemes and baselines share one
+schema, so :func:`metrics_from_run` is the only flattener.  The historical
+:func:`metrics_from_outcome` / :func:`metrics_from_baseline` names survive as
+deprecated aliases.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
-from ..baselines.base import BaselineOutcome
-from ..core.runner import BroadcastOutcome
+from ..core.outcome import Outcome
 from ..graphs.graph import Graph
 from ..graphs.properties import source_radius
 from ..radio.trace import ExecutionTrace
 
 __all__ = [
     "RunMetrics",
+    "metrics_from_run",
     "metrics_from_outcome",
     "metrics_from_baseline",
     "message_bits_total",
@@ -31,7 +32,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RunMetrics:
-    """One row of a results table."""
+    """One row of a results table.
+
+    ``fault`` / ``clock`` are short spec tags identifying the channel
+    perturbation the run executed under (``"none"`` / ``"sync"`` for the
+    paper's reliable synchronized model); they make rows from multi-axis
+    grids (see :func:`repro.api.run_grid`) self-describing.
+    """
 
     scheme: str
     family: str
@@ -45,6 +52,8 @@ class RunMetrics:
     transmissions: int
     collisions: int
     total_message_bits: int
+    fault: str = "none"
+    clock: str = "sync"
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view for the report renderer."""
@@ -72,57 +81,60 @@ def per_round_transmitter_counts(trace: ExecutionTrace) -> np.ndarray:
     return np.array([r.num_transmitters for r in trace.rounds], dtype=np.int64)
 
 
-def metrics_from_outcome(
+def metrics_from_run(
     graph: Graph,
-    outcome: BroadcastOutcome,
+    outcome: Outcome,
     *,
     family: str = "unknown",
     source: Optional[int] = None,
+    fault: str = "none",
+    clock: str = "sync",
 ) -> RunMetrics:
-    """Flatten a paper-scheme outcome into a :class:`RunMetrics` row."""
-    src = source if source is not None else outcome.labeling.source
+    """Flatten any unified :class:`Outcome` into a :class:`RunMetrics` row."""
+    src = source
+    if src is None and outcome.labeling is not None:
+        src = outcome.labeling.source
     if src is None:
         src = outcome.extras.get("coordinator", 0)
     ecc = source_radius(graph, src) if graph.n > 0 else 0
     return RunMetrics(
-        scheme=outcome.labeling.scheme,
+        scheme=outcome.scheme,
         family=family,
         n=graph.n,
         source_eccentricity=ecc,
-        label_bits=outcome.labeling.length,
-        distinct_labels=outcome.labeling.num_distinct_labels(),
+        label_bits=outcome.label_bits,
+        distinct_labels=outcome.distinct_labels,
         completion_round=outcome.completion_round,
         bound=outcome.bound_broadcast,
         acknowledgement_round=outcome.acknowledgement_round,
         transmissions=outcome.total_transmissions,
         collisions=outcome.total_collisions,
         total_message_bits=message_bits_total(outcome.trace),
+        fault=fault,
+        clock=clock,
     )
+
+
+def metrics_from_outcome(
+    graph: Graph,
+    outcome: Outcome,
+    *,
+    family: str = "unknown",
+    source: Optional[int] = None,
+) -> RunMetrics:
+    """Deprecated alias of :func:`metrics_from_run` (paper-scheme spelling)."""
+    return metrics_from_run(graph, outcome, family=family, source=source)
 
 
 def metrics_from_baseline(
     graph: Graph,
-    outcome: BaselineOutcome,
+    outcome: Outcome,
     *,
     family: str = "unknown",
     source: int = 0,
 ) -> RunMetrics:
-    """Flatten a baseline outcome into a :class:`RunMetrics` row."""
-    ecc = source_radius(graph, source) if graph.n > 0 else 0
-    return RunMetrics(
-        scheme=outcome.name,
-        family=family,
-        n=graph.n,
-        source_eccentricity=ecc,
-        label_bits=outcome.label_length_bits,
-        distinct_labels=outcome.num_distinct_labels,
-        completion_round=outcome.completion_round,
-        bound=None,
-        acknowledgement_round=None,
-        transmissions=outcome.total_transmissions,
-        collisions=outcome.total_collisions,
-        total_message_bits=message_bits_total(outcome.simulation.trace),
-    )
+    """Deprecated alias of :func:`metrics_from_run` (baseline spelling)."""
+    return metrics_from_run(graph, outcome, family=family, source=source)
 
 
 def aggregate(rows: Sequence[RunMetrics], field: str) -> Dict[str, float]:

@@ -8,9 +8,18 @@ read well in CI logs and in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_metrics_table", "format_comparison"]
+__all__ = [
+    "format_table",
+    "format_metrics_table",
+    "format_comparison",
+    "metrics_to_json",
+    "metrics_to_csv",
+]
 
 
 def _cell(value: Any) -> str:
@@ -49,7 +58,11 @@ def format_table(
 
 
 def format_metrics_table(metrics: Sequence, *, title: Optional[str] = None) -> str:
-    """Render a sequence of :class:`~repro.analysis.metrics.RunMetrics` rows."""
+    """Render a sequence of :class:`~repro.analysis.metrics.RunMetrics` rows.
+
+    The ``fault`` / ``clock`` columns only appear when some row ran under a
+    non-default channel model, so plain sweeps render exactly as before.
+    """
     rows = [m.as_dict() for m in metrics]
     columns = [
         "scheme",
@@ -64,7 +77,37 @@ def format_metrics_table(metrics: Sequence, *, title: Optional[str] = None) -> s
         "transmissions",
         "collisions",
     ]
+    if any(row.get("fault", "none") != "none" for row in rows):
+        columns.append("fault")
+    if any(row.get("clock", "sync") != "sync" for row in rows):
+        columns.append("clock")
     return format_table(rows, columns, title=title)
+
+
+def metrics_to_json(metrics: Sequence, *, indent: int = 2) -> str:
+    """Serialise :class:`~repro.analysis.metrics.RunMetrics` rows as a JSON array.
+
+    Machine-readable export for ``repro sweep --output json`` and downstream
+    tooling; field order follows the dataclass definition, row order is the
+    sweep order.
+    """
+    return json.dumps([m.as_dict() for m in metrics], indent=indent)
+
+
+def metrics_to_csv(metrics: Sequence) -> str:
+    """Serialise :class:`~repro.analysis.metrics.RunMetrics` rows as CSV text.
+
+    The header row lists every metrics field; ``None`` cells are left empty.
+    """
+    buffer = io.StringIO()
+    rows = [m.as_dict() for m in metrics]
+    if not rows:
+        return ""
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()), lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: ("" if v is None else v) for k, v in row.items()})
+    return buffer.getvalue()
 
 
 def format_comparison(

@@ -5,42 +5,34 @@ source) combinations and returns the flat metric rows the report renderer and
 the benchmark assertions consume.  Sweeps are deterministic: the seed of every
 instance is derived from the sweep seed, the family name and the size, using a
 *stable* family hash (CRC32) so the same config yields the same instances in
-every process — a prerequisite for the parallel executor in
-:mod:`repro.analysis.executor`, whose workers regenerate instances from specs.
+every process — a prerequisite for parallel execution, whose workers
+regenerate instances from specs.
 
-``run_sweep`` accepts ``backend`` / ``trace_level`` (threaded through to every
-scheme runner; sweeps default to summary traces, which keep memory flat) and
-``jobs`` (``> 1`` fans instances out over a process pool with results
-guaranteed identical to the serial order).
+Since the unified experiment API landed, this module keeps the **instance
+machinery** (seed derivation, spec enumeration, materialization) plus the
+legacy :class:`SweepConfig` / :func:`run_sweep` entry point, which is now a
+thin wrapper over :func:`repro.api.run_grid` — the grid engine that also
+supports fault-model and clock-model axes.  The old ``SCHEME_RUNNERS`` dict
+is replaced by the scheme registry (:func:`repro.api.scheme_names`); a
+read-only compatibility view is kept under the old name.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Mapping, Sequence, Tuple
 
-from ..baselines import (
-    run_centralized_schedule,
-    run_coloring_tdma,
-    run_collision_detection_broadcast,
-    run_round_robin,
-)
-from ..core.runner import (
-    run_acknowledged_broadcast,
-    run_arbitrary_source_broadcast,
-    run_broadcast,
-)
 from ..graphs.generators import generate_family
 from ..graphs.graph import Graph
 from ..graphs.random import derive_seed
-from .metrics import RunMetrics, metrics_from_baseline, metrics_from_outcome
 
 __all__ = [
     "SweepConfig",
     "SweepInstance",
     "generate_instances",
     "instance_seed",
+    "instance_specs",
     "materialize_instance",
     "run_sweep",
     "SCHEME_RUNNERS",
@@ -60,7 +52,7 @@ class SweepInstance:
 
 @dataclass
 class SweepConfig:
-    """Declarative description of a sweep.
+    """Declarative description of a legacy sweep grid.
 
     Attributes
     ----------
@@ -71,12 +63,15 @@ class SweepConfig:
     seeds_per_size:
         Number of random instances per (family, size) cell.
     schemes:
-        Scheme names to run; see :data:`SCHEME_RUNNERS`.
+        Registered scheme names; see :func:`repro.api.scheme_names`.
     source_rule:
         ``"zero"`` (node 0), ``"last"`` (node n−1) or ``"center-ish"``
         (node n // 2).
     base_seed:
         Root seed from which all instance seeds are derived.
+
+    For fault-model / clock-model axes use :class:`repro.api.GridConfig`,
+    which this config lifts into losslessly.
     """
 
     families: Sequence[str]
@@ -88,13 +83,9 @@ class SweepConfig:
 
 
 def _pick_source(graph: Graph, rule: str) -> int:
-    if rule == "zero":
-        return 0
-    if rule == "last":
-        return graph.n - 1
-    if rule == "center-ish":
-        return graph.n // 2
-    raise ValueError(f"unknown source rule {rule!r}")
+    from ..api.scenario import pick_source
+
+    return pick_source(graph, rule)
 
 
 def _stable_family_hash(family: str) -> int:
@@ -112,17 +103,19 @@ def instance_seed(base_seed: int, family: str, size: int, rep: int) -> int:
     return derive_seed(base_seed, _stable_family_hash(family), size, rep)
 
 
-def materialize_instance(
-    config: SweepConfig, family: str, size: int, rep: int
-) -> SweepInstance:
-    """Build the concrete :class:`SweepInstance` for one grid cell + repetition."""
+def materialize_instance(config, family: str, size: int, rep: int) -> SweepInstance:
+    """Build the concrete :class:`SweepInstance` for one grid cell + repetition.
+
+    ``config`` may be a :class:`SweepConfig` or a :class:`repro.api.GridConfig`
+    — anything with ``base_seed`` and ``source_rule`` attributes.
+    """
     seed = instance_seed(config.base_seed, family, size, rep)
     graph = generate_family(family, size, seed)
     source = _pick_source(graph, config.source_rule)
     return SweepInstance(family=family, n=graph.n, seed=seed, source=source, graph=graph)
 
 
-def instance_specs(config: SweepConfig) -> List[Tuple[str, int, int]]:
+def instance_specs(config) -> List[Tuple[str, int, int]]:
     """The ``(family, size, rep)`` spec of every instance, in sweep order."""
     return [
         (family, size, rep)
@@ -132,7 +125,7 @@ def instance_specs(config: SweepConfig) -> List[Tuple[str, int, int]]:
     ]
 
 
-def generate_instances(config: SweepConfig) -> List[SweepInstance]:
+def generate_instances(config) -> List[SweepInstance]:
     """Materialise every workload instance described by ``config``."""
     return [
         materialize_instance(config, family, size, rep)
@@ -140,70 +133,58 @@ def generate_instances(config: SweepConfig) -> List[SweepInstance]:
     ]
 
 
-def _run_lambda(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
-    outcome = run_broadcast(instance.graph, instance.source,
-                            backend=backend, trace_level=trace_level)
-    return metrics_from_outcome(instance.graph, outcome, family=instance.family,
-                                source=instance.source)
+class _SchemeRunnerView(Mapping):
+    """Deprecated read-only view emulating the old ``SCHEME_RUNNERS`` dict.
+
+    Keys are the registered scheme names; values are callables with the old
+    ``runner(instance, *, backend, trace_level) -> RunMetrics`` signature.
+    New code should use :func:`repro.api.get_scheme` directly.
+    """
+
+    def _names(self) -> List[str]:
+        from ..api.schemes import scheme_names
+
+        return scheme_names()
+
+    def __getitem__(self, name: str):
+        from ..api.schemes import get_scheme
+        from .metrics import metrics_from_run
+
+        try:
+            scheme = get_scheme(name)
+        except ValueError:
+            # Mapping contract: misses must raise KeyError (so .get() and
+            # `in`-style probing keep their historical dict behaviour).
+            raise KeyError(name) from None
+
+        def runner(instance: SweepInstance, *, backend=None, trace_level="summary",
+                   fault_model=None, clock_model=None):
+            outcome = scheme.run(
+                instance.graph, instance.source, backend=backend,
+                trace_level=trace_level, fault_model=fault_model,
+                clock_model=clock_model,
+                **scheme.grid_options(instance.graph, instance.source),
+            )
+            return metrics_from_run(instance.graph, outcome, family=instance.family,
+                                    source=instance.source)
+
+        return runner
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SCHEME_RUNNERS({self._names()})"
 
 
-def _run_lambda_ack(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
-    outcome = run_acknowledged_broadcast(instance.graph, instance.source,
-                                         backend=backend, trace_level=trace_level)
-    return metrics_from_outcome(instance.graph, outcome, family=instance.family,
-                                source=instance.source)
-
-
-def _run_lambda_arb(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
-    coordinator = 0 if instance.source != 0 else instance.graph.n - 1
-    outcome = run_arbitrary_source_broadcast(
-        instance.graph, true_source=instance.source, coordinator=coordinator,
-        backend=backend, trace_level=trace_level,
-    )
-    return metrics_from_outcome(instance.graph, outcome, family=instance.family,
-                                source=instance.source)
-
-
-def _run_round_robin(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
-    outcome = run_round_robin(instance.graph, instance.source,
-                              backend=backend, trace_level=trace_level)
-    return metrics_from_baseline(instance.graph, outcome, family=instance.family,
-                                 source=instance.source)
-
-
-def _run_coloring(instance: SweepInstance, *, backend=None, trace_level="summary") -> RunMetrics:
-    outcome = run_coloring_tdma(instance.graph, instance.source,
-                                backend=backend, trace_level=trace_level)
-    return metrics_from_baseline(instance.graph, outcome, family=instance.family,
-                                 source=instance.source)
-
-
-def _run_collision_detection(instance: SweepInstance, *, backend=None,
-                             trace_level="summary") -> RunMetrics:
-    outcome = run_collision_detection_broadcast(instance.graph, instance.source,
-                                                backend=backend, trace_level=trace_level)
-    return metrics_from_baseline(instance.graph, outcome, family=instance.family,
-                                 source=instance.source)
-
-
-def _run_centralized(instance: SweepInstance, *, backend=None,
-                     trace_level="summary") -> RunMetrics:
-    outcome = run_centralized_schedule(instance.graph, instance.source,
-                                       backend=backend, trace_level=trace_level)
-    return metrics_from_baseline(instance.graph, outcome, family=instance.family,
-                                 source=instance.source)
-
-
-#: Scheme name → callable(SweepInstance, *, backend, trace_level) -> RunMetrics.
-SCHEME_RUNNERS: Dict[str, Callable[..., RunMetrics]] = {
-    "lambda": _run_lambda,
-    "lambda_ack": _run_lambda_ack,
-    "lambda_arb": _run_lambda_arb,
-    "round_robin": _run_round_robin,
-    "coloring_tdma": _run_coloring,
-    "collision_detection": _run_collision_detection,
-    "centralized": _run_centralized,
-}
+#: Deprecated: scheme name → legacy runner callable.  Backed by the registry.
+SCHEME_RUNNERS = _SchemeRunnerView()
 
 
 def run_sweep(
@@ -212,26 +193,18 @@ def run_sweep(
     backend=None,
     trace_level: str = "summary",
     jobs: int = 1,
-) -> List[RunMetrics]:
+):
     """Run every configured scheme over every instance and return all rows.
 
-    ``jobs > 1`` dispatches to the batched parallel executor
-    (:func:`repro.analysis.executor.run_sweep_parallel`); rows come back in
-    the same stable order regardless of the job count.
+    Thin wrapper over :func:`repro.api.run_grid` with the legacy grid (no
+    fault/clock axes).  ``jobs > 1`` fans instances out over a process pool;
+    rows come back in the same stable order regardless of the job count.
     """
-    unknown = [s for s in config.schemes if s not in SCHEME_RUNNERS]
-    if unknown:
-        raise ValueError(f"unknown schemes {unknown}; known: {sorted(SCHEME_RUNNERS)}")
-    if jobs > 1:
-        from .executor import run_sweep_parallel
+    from ..api.grid import GridConfig, run_grid
 
-        return run_sweep_parallel(
-            config, jobs=jobs, backend=backend, trace_level=trace_level
-        )
-    rows: List[RunMetrics] = []
-    for instance in generate_instances(config):
-        for scheme in config.schemes:
-            rows.append(
-                SCHEME_RUNNERS[scheme](instance, backend=backend, trace_level=trace_level)
-            )
-    return rows
+    return run_grid(
+        GridConfig.from_sweep(config),
+        backend=backend,
+        trace_level=trace_level,
+        jobs=jobs,
+    )

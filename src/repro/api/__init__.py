@@ -1,0 +1,67 @@
+"""repro.api — the unified scenario/experiment surface.
+
+One composable way to express every experiment the paper's comparison needs::
+
+    from repro import api
+
+    # One execution, declaratively (round-trips through JSON):
+    scenario = api.Scenario(graph="grid:64:1", scheme="lambda_ack",
+                            faults={"kind": "drop", "prob": 0.05, "seed": 7})
+    outcome = api.run(scenario)
+
+    # A whole grid, with fault/clock axes and parallel workers:
+    rows = api.run_grid(api.GridConfig(
+        families=["path", "geometric"], sizes=[64, 256],
+        schemes=["lambda", "round_robin"],
+        faults=[None, "drop:0.1:3"],
+    ), backend="vectorized", jobs=4)
+
+Schemes live in one registry (:func:`scheme_names`, :func:`get_scheme`,
+:func:`register_scheme`); all of them — the paper's λ / λ_ack / λ_arb and the
+four baselines — return the same unified :class:`Outcome`.
+"""
+
+from ..core.outcome import Outcome
+from .grid import GridConfig, grid_cell_specs, run_grid
+from .run import run
+from .scenario import SOURCE_RULES, Scenario, graph_from_spec, pick_source
+from .schemes import (
+    Scheme,
+    SchemeLabels,
+    baseline_scheme_names,
+    get_scheme,
+    paper_scheme_names,
+    register_scheme,
+    scheme_names,
+)
+from .specs import (
+    clock_model_from_spec,
+    fault_model_from_spec,
+    normalize_clock_spec,
+    normalize_fault_spec,
+    spec_label,
+)
+
+__all__ = [
+    "GridConfig",
+    "Outcome",
+    "SOURCE_RULES",
+    "Scenario",
+    "Scheme",
+    "SchemeLabels",
+    "baseline_scheme_names",
+    "clock_model_from_spec",
+    "fault_model_from_spec",
+    "get_scheme",
+    "graph_from_spec",
+    "grid_cell_specs",
+    "normalize_clock_spec",
+    "normalize_fault_spec",
+    "paper_scheme_names",
+    "pick_source",
+    "register_scheme",
+    "run",
+    "run_grid",
+    "scheme_names",
+    "spec_label",
+]

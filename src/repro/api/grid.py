@@ -1,0 +1,263 @@
+"""Grid experiments: ``run_grid`` — the engine under every sweep.
+
+A :class:`GridConfig` extends the legacy sweep grid (families × sizes × seeds
+× schemes) with two new axes the old sweep layer could not express at all:
+**fault models** and **clock models**, as declarative specs (see
+:mod:`repro.api.specs`).  ``run_grid`` executes the full cross product and
+returns flat :class:`~repro.analysis.metrics.RunMetrics` rows in a stable
+order; with ``jobs > 1`` cells fan out over a process pool with results
+guaranteed identical to the serial order, because every cell is a plain
+serializable spec the workers rematerialize (graph from its seed-derived
+spec, fault/clock model from its spec dict).
+
+The legacy ``repro.analysis.sweep.run_sweep`` /
+``repro.analysis.executor.run_sweep_parallel`` entry points are thin wrappers
+over this module: a grid with the default ``faults=(None,)`` /
+``clocks=(None,)`` axes reproduces legacy sweep rows bit for bit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import RunMetrics, metrics_from_run
+from ..backends import BACKEND_NAMES
+from .schemes import get_scheme, scheme_names
+from .specs import (
+    ClockSpec,
+    FaultSpec,
+    clock_model_from_spec,
+    fault_model_from_spec,
+    normalize_clock_spec,
+    normalize_fault_spec,
+    spec_label,
+)
+
+__all__ = ["GridConfig", "grid_cell_specs", "run_grid"]
+
+#: One grid cell: ``(family, size, rep, fault_spec, clock_spec)`` — all plain
+#: picklable data; workers rematerialize the graph and the channel models.
+CellSpec = Tuple[str, int, int, Optional[Dict[str, Any]], Optional[Dict[str, Any]]]
+
+
+@dataclass
+class GridConfig:
+    """Declarative description of a grid experiment.
+
+    The first six fields mirror :class:`~repro.analysis.sweep.SweepConfig`;
+    ``faults`` / ``clocks`` add the channel-perturbation axes and ``payload``
+    the source message.  Every axis entry must be serializable spec data.
+    """
+
+    families: Sequence[str]
+    sizes: Sequence[int]
+    seeds_per_size: int = 1
+    schemes: Sequence[str] = ("lambda",)
+    source_rule: str = "zero"
+    base_seed: int = 2019
+    faults: Sequence[FaultSpec] = (None,)
+    clocks: Sequence[ClockSpec] = (None,)
+    payload: Any = "MSG"
+
+    def __post_init__(self) -> None:
+        self.faults = tuple(normalize_fault_spec(f) for f in self.faults) or (None,)
+        self.clocks = tuple(normalize_clock_spec(c) for c in self.clocks) or (None,)
+
+    @classmethod
+    def from_sweep(cls, config: Any) -> "GridConfig":
+        """Lift a legacy :class:`~repro.analysis.sweep.SweepConfig`.
+
+        A :class:`GridConfig` (or anything else already carrying
+        fault/clock/payload axes) passes through losslessly, so the legacy
+        ``run_sweep`` entry point never silently drops axes.
+        """
+        return cls(
+            families=list(config.families),
+            sizes=list(config.sizes),
+            seeds_per_size=config.seeds_per_size,
+            schemes=list(config.schemes),
+            source_rule=config.source_rule,
+            base_seed=config.base_seed,
+            faults=tuple(getattr(config, "faults", (None,))),
+            clocks=tuple(getattr(config, "clocks", (None,))),
+            payload=getattr(config, "payload", "MSG"),
+        )
+
+
+def grid_cell_specs(config: GridConfig) -> List[CellSpec]:
+    """Every grid cell in stable sweep order (instance → fault → clock)."""
+    return [
+        (family, size, rep, fault, clock)
+        for family in config.families
+        for size in config.sizes
+        for rep in range(config.seeds_per_size)
+        for fault in config.faults
+        for clock in config.clocks
+    ]
+
+
+def _validate_schemes(config: GridConfig) -> None:
+    unknown = [s for s in config.schemes if s not in scheme_names()]
+    if unknown:
+        raise ValueError(f"unknown schemes {unknown}; known: {scheme_names()}")
+
+
+def _group_cells_by_instance(
+    cells: Sequence[CellSpec],
+) -> List[Tuple[Tuple[str, int, int], List[CellSpec]]]:
+    """Group *consecutive* cells sharing an instance, preserving sweep order.
+
+    ``grid_cell_specs`` keeps the fault/clock axes innermost, so all cells of
+    one (family, size, rep) instance are adjacent; grouping lets the runner
+    materialize the graph (and compute each paper scheme's labeling) once per
+    instance instead of once per channel-model combination.
+    """
+    groups: List[Tuple[Tuple[str, int, int], List[CellSpec]]] = []
+    for cell in cells:
+        key = (cell[0], cell[1], cell[2])
+        if groups and groups[-1][0] == key:
+            groups[-1][1].append(cell)
+        else:
+            groups.append((key, [cell]))
+    return groups
+
+
+def _run_instance_cells(
+    config: GridConfig,
+    cells: Sequence[CellSpec],
+    *,
+    backend: Any,
+    trace_level: str,
+) -> List[RunMetrics]:
+    """Run every configured scheme on each fault/clock cell of one instance."""
+    from ..analysis.sweep import materialize_instance  # local: avoids import cycle
+
+    family, size, rep = cells[0][0], cells[0][1], cells[0][2]
+    instance = materialize_instance(config, family, size, rep)
+    # Labels and schedules are pure functions of (graph, source, payload), so
+    # every scheme's SchemeLabels is built once and reused across the
+    # fault/clock cells of the instance.  ``_payload_text`` reaches the one
+    # scheme whose label step depends on the payload (bit signalling); the
+    # others swallow it.
+    labels_infos: Dict[str, Any] = {}
+    rows: List[RunMetrics] = []
+    for _, _, _, fault_spec, clock_spec in cells:
+        fault_tag = spec_label(fault_spec, default="none")
+        clock_tag = spec_label(clock_spec, default="sync")
+        for scheme_name in config.schemes:
+            scheme = get_scheme(scheme_name)
+            options = scheme.grid_options(instance.graph, instance.source)
+            if scheme_name not in labels_infos:
+                labels_infos[scheme_name] = scheme.build_labels(
+                    instance.graph, instance.source,
+                    _payload_text=str(config.payload), **options,
+                )
+            # Fresh model objects per run: fault models memoise coin flips,
+            # and a shared instance across schemes would make results depend
+            # on execution order (and break jobs-independence).
+            fault_model = fault_model_from_spec(fault_spec)
+            clock_model = clock_model_from_spec(clock_spec, instance.graph.n)
+            outcome = scheme.run(
+                instance.graph,
+                instance.source,
+                payload=config.payload,
+                labels_info=labels_infos[scheme_name],
+                fault_model=fault_model,
+                clock_model=clock_model,
+                backend=backend,
+                trace_level=trace_level,
+                **options,
+            )
+            rows.append(
+                metrics_from_run(
+                    instance.graph,
+                    outcome,
+                    family=instance.family,
+                    source=instance.source,
+                    fault=fault_tag,
+                    clock=clock_tag,
+                )
+            )
+    return rows
+
+
+#: One work unit: the grid config (as a dict), a list of cell specs and the
+#: execution knobs.  Everything inside is plain picklable data.
+_ChunkPayload = Tuple[dict, List[CellSpec], Optional[str], str]
+
+
+def _run_grid_chunk(payload: _ChunkPayload) -> List[RunMetrics]:
+    """Worker entry point: rematerialize each cell and run every scheme."""
+    config_dict, chunk, backend, trace_level = payload
+    config = GridConfig(**config_dict)
+    rows: List[RunMetrics] = []
+    for _, group in _group_cells_by_instance(chunk):
+        rows.extend(
+            _run_instance_cells(config, group, backend=backend, trace_level=trace_level)
+        )
+    return rows
+
+
+def run_grid(
+    config: GridConfig,
+    *,
+    backend: Any = None,
+    trace_level: str = "summary",
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+) -> List[RunMetrics]:
+    """Run every configured scheme over every grid cell and return all rows.
+
+    Parameters
+    ----------
+    config:
+        The experiment grid (including the fault/clock axes).
+    backend / trace_level:
+        Forwarded to every scheme run.  For parallel execution ``backend``
+        must be a registry name (or an instance of a registered backend
+        class, reduced to its name): only plain data crosses the process
+        boundary.
+    jobs:
+        Worker process count.  ``1`` runs inline; ``None`` uses the CPU
+        count.  Rows come back in the same stable order for any job count.
+    chunk_size:
+        Cells per work unit; defaults to ~4 chunks per worker.
+    """
+    from ..analysis.executor import chunk_specs, default_jobs  # local: avoids cycle
+
+    _validate_schemes(config)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    cells = grid_cell_specs(config)
+    if not cells:
+        return []
+    if jobs == 1:
+        rows: List[RunMetrics] = []
+        for _, group in _group_cells_by_instance(cells):
+            rows.extend(
+                _run_instance_cells(config, group, backend=backend,
+                                    trace_level=trace_level)
+            )
+        return rows
+    if backend is not None and not isinstance(backend, str):
+        name = getattr(backend, "name", None)
+        if name not in BACKEND_NAMES:
+            raise ValueError(
+                f"parallel sweeps need a registered backend name "
+                f"{sorted(BACKEND_NAMES)}, got instance {backend!r} with name "
+                f"{name!r}; run with jobs=1 to use a custom backend object"
+            )
+        backend = name
+    if chunk_size is None:
+        chunk_size = max(1, (len(cells) + jobs * 4 - 1) // (jobs * 4))
+    chunks = chunk_specs(cells, chunk_size)
+    payloads: List[_ChunkPayload] = [
+        (asdict(config), chunk, backend, trace_level) for chunk in chunks
+    ]
+    if len(chunks) == 1:
+        results = [_run_grid_chunk(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            results = list(pool.map(_run_grid_chunk, payloads))
+    return [row for chunk_rows in results for row in chunk_rows]

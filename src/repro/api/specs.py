@@ -1,0 +1,242 @@
+"""Declarative, JSON-serializable specs for fault and clock models.
+
+Sweeping over channel perturbations requires the perturbation to be *data*,
+not a live Python object: the parallel executor ships work units to worker
+processes as plain picklable specs, and scenario files must round-trip
+through JSON.  This module defines the canonical spec dictionaries, a compact
+string shorthand for the CLI, and the materializers that turn a spec into the
+:mod:`repro.radio` model object for a concrete graph.
+
+Fault specs (``None`` means the paper's reliable channel):
+
+* ``{"kind": "none"}``
+* ``{"kind": "drop", "prob": 0.1, "seed": 7}`` → :class:`TransmissionDropFaults`
+* ``{"kind": "crash", "schedule": {"3": 5}}`` → :class:`CrashFaults`
+* ``{"kind": "composite", "models": [spec, ...]}`` → :class:`CompositeFaults`
+
+Clock specs (``None`` means synchronized clocks):
+
+* ``{"kind": "synchronized"}``
+* ``{"kind": "offset", "offsets": {"0": 3}, "default": 0}`` → :class:`OffsetClocks`
+* ``{"kind": "random_offsets", "max_offset": 50, "seed": 0}`` →
+  per-node uniform offsets, materialized deterministically for the graph
+
+String shorthands (used by ``repro sweep --faults ... --clocks ...``):
+``"none"``, ``"drop:0.1"``, ``"drop:0.1:7"``, ``"crash:3@5,8@2"``,
+``"sync"``, ``"offset:3"``, ``"random_offsets:50"``, ``"random_offsets:50:9"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from ..radio.clock import ClockModel, OffsetClocks, SynchronizedClocks, random_offsets
+from ..radio.faults import (
+    CompositeFaults,
+    CrashFaults,
+    FaultModel,
+    NoFaults,
+    TransmissionDropFaults,
+)
+
+__all__ = [
+    "FaultSpec",
+    "ClockSpec",
+    "normalize_fault_spec",
+    "normalize_clock_spec",
+    "fault_model_from_spec",
+    "clock_model_from_spec",
+    "spec_label",
+]
+
+#: A fault/clock spec as accepted by the API: ``None``, a canonical dict, or
+#: the CLI string shorthand.
+FaultSpec = Optional[Union[str, Dict[str, Any]]]
+ClockSpec = Optional[Union[str, Dict[str, Any]]]
+
+
+def _parse_fault_shorthand(text: str) -> Optional[Dict[str, Any]]:
+    parts = text.split(":")
+    kind = parts[0]
+    if kind in ("none", ""):
+        return None
+    if kind == "drop":
+        if len(parts) not in (2, 3):
+            raise ValueError(f"drop fault shorthand is 'drop:PROB[:SEED]', got {text!r}")
+        spec: Dict[str, Any] = {"kind": "drop", "prob": float(parts[1])}
+        if len(parts) == 3:
+            spec["seed"] = int(parts[2])
+        return spec
+    if kind == "crash":
+        if len(parts) != 2 or not parts[1]:
+            raise ValueError(f"crash fault shorthand is 'crash:NODE@ROUND,...', got {text!r}")
+        schedule: Dict[str, int] = {}
+        for entry in parts[1].split(","):
+            node, _, rnd = entry.partition("@")
+            try:
+                schedule[str(int(node))] = int(rnd)
+            except ValueError:
+                raise ValueError(
+                    f"bad crash entry {entry!r} in {text!r}: "
+                    f"node and round must be integers"
+                ) from None
+        return {"kind": "crash", "schedule": schedule}
+    raise ValueError(f"unknown fault spec {text!r}; known kinds: none, drop, crash")
+
+
+def _parse_clock_shorthand(text: str) -> Optional[Dict[str, Any]]:
+    parts = text.split(":")
+    kind = parts[0]
+    if kind in ("none", "sync", "synchronized", ""):
+        return None
+    if kind == "offset":
+        if len(parts) != 2:
+            raise ValueError(f"offset clock shorthand is 'offset:AMOUNT', got {text!r}")
+        return {"kind": "offset", "offsets": {}, "default": int(parts[1])}
+    if kind == "random_offsets":
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"random offsets shorthand is 'random_offsets:MAX[:SEED]', got {text!r}"
+            )
+        spec: Dict[str, Any] = {"kind": "random_offsets", "max_offset": int(parts[1])}
+        if len(parts) == 3:
+            spec["seed"] = int(parts[2])
+        return spec
+    raise ValueError(
+        f"unknown clock spec {text!r}; known kinds: sync, offset, random_offsets"
+    )
+
+
+def _require(spec: Dict[str, Any], key: str, kind: str) -> Any:
+    """Fetch a required spec field, failing with one clear message."""
+    try:
+        return spec[key]
+    except KeyError:
+        raise ValueError(
+            f"{kind!r} spec is missing the required field {key!r}: {spec!r}"
+        ) from None
+
+
+def normalize_fault_spec(spec: FaultSpec) -> Optional[Dict[str, Any]]:
+    """Reduce a fault spec to its canonical dict form (``None`` = no faults)."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        return _parse_fault_shorthand(spec)
+    if not isinstance(spec, dict):
+        raise TypeError(f"fault spec must be None, a string or a dict, got {spec!r}")
+    kind = spec.get("kind")
+    if kind in (None, "none"):
+        return None
+    if kind == "drop":
+        out = {"kind": "drop", "prob": float(_require(spec, "prob", kind))}
+        if "seed" in spec:
+            out["seed"] = int(spec["seed"])
+        return out
+    if kind == "crash":
+        raw_schedule = _require(spec, "schedule", kind)
+        try:
+            schedule = {str(int(k)): int(v) for k, v in dict(raw_schedule).items()}
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"crash schedule must map integer node ids to integer rounds, "
+                f"got {raw_schedule!r}"
+            ) from None
+        return {"kind": "crash", "schedule": schedule}
+    if kind == "composite":
+        models = [normalize_fault_spec(m) for m in _require(spec, "models", kind)]
+        return {"kind": "composite", "models": [m for m in models if m is not None]}
+    raise ValueError(f"unknown fault spec kind {kind!r}")
+
+
+def normalize_clock_spec(spec: ClockSpec) -> Optional[Dict[str, Any]]:
+    """Reduce a clock spec to its canonical dict form (``None`` = synchronized)."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        return _parse_clock_shorthand(spec)
+    if not isinstance(spec, dict):
+        raise TypeError(f"clock spec must be None, a string or a dict, got {spec!r}")
+    kind = spec.get("kind")
+    if kind in (None, "none", "sync", "synchronized"):
+        return None
+    if kind == "offset":
+        try:
+            offsets = {
+                str(int(k)): int(v) for k, v in dict(spec.get("offsets", {})).items()
+            }
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"clock offsets must map integer node ids to integer offsets, "
+                f"got {spec.get('offsets')!r}"
+            ) from None
+        return {
+            "kind": "offset",
+            "offsets": offsets,
+            "default": int(spec.get("default", 0)),
+        }
+    if kind == "random_offsets":
+        out = {"kind": "random_offsets",
+               "max_offset": int(_require(spec, "max_offset", kind))}
+        if "seed" in spec:
+            out["seed"] = int(spec["seed"])
+        return out
+    raise ValueError(f"unknown clock spec kind {kind!r}")
+
+
+def fault_model_from_spec(spec: FaultSpec) -> Optional[FaultModel]:
+    """Materialize the :class:`FaultModel` a spec describes (``None`` for no faults)."""
+    canonical = normalize_fault_spec(spec)
+    if canonical is None:
+        return None
+    kind = canonical["kind"]
+    if kind == "drop":
+        return TransmissionDropFaults(canonical["prob"], seed=canonical.get("seed", 0))
+    if kind == "crash":
+        return CrashFaults({int(k): v for k, v in canonical["schedule"].items()})
+    if kind == "composite":
+        models = [fault_model_from_spec(m) for m in canonical["models"]]
+        return CompositeFaults([m for m in models if m is not None])
+    raise ValueError(f"unknown fault spec kind {kind!r}")  # pragma: no cover
+
+
+def clock_model_from_spec(spec: ClockSpec, num_nodes: int) -> Optional[ClockModel]:
+    """Materialize the :class:`ClockModel` a spec describes for an ``n``-node graph."""
+    canonical = normalize_clock_spec(spec)
+    if canonical is None:
+        return None
+    kind = canonical["kind"]
+    if kind == "offset":
+        offsets = {int(k): v for k, v in canonical["offsets"].items()}
+        return OffsetClocks(offsets, default=canonical.get("default", 0))
+    if kind == "random_offsets":
+        return random_offsets(
+            num_nodes, canonical["max_offset"], seed=canonical.get("seed", 0)
+        )
+    raise ValueError(f"unknown clock spec kind {kind!r}")  # pragma: no cover
+
+
+def spec_label(spec: Union[FaultSpec, ClockSpec], *, default: str) -> str:
+    """A short, stable human-readable tag for a spec (used in metric rows)."""
+    if spec is None:
+        return default
+    if isinstance(spec, str):
+        return spec or default
+    kind = spec.get("kind", default)
+    if kind == "drop":
+        tag = f"drop:{spec['prob']:g}"
+        return f"{tag}:{spec['seed']}" if "seed" in spec else tag
+    if kind == "crash":
+        entries = ",".join(
+            f"{k}@{v}"
+            for k, v in sorted(spec["schedule"].items(), key=lambda kv: int(kv[0]))
+        )
+        return f"crash:{entries}"
+    if kind == "composite":
+        return "+".join(spec_label(m, default=default) for m in spec["models"])
+    if kind == "offset":
+        return f"offset:{spec.get('default', 0)}"
+    if kind == "random_offsets":
+        tag = f"random_offsets:{spec['max_offset']}"
+        return f"{tag}:{spec['seed']}" if "seed" in spec else tag
+    return str(kind)

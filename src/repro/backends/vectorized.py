@@ -3,8 +3,9 @@
 One round of the paper's radio model — "a listener hears a message iff exactly
 one neighbour transmits" — is a sparse matrix–vector product of the adjacency
 matrix with the 0/1 transmit vector.  This backend precompiles the three
-labeled protocols (B, B_ack, B_arb) and the round-robin / TDMA baselines into
-NumPy array kernels over the graph's prebuilt CSR arrays:
+labeled protocols (B, B_ack, B_arb), the round-robin / TDMA baselines and the
+centralized-schedule baseline into NumPy array kernels over the graph's
+prebuilt CSR arrays:
 
 * the per-listener transmitter count is one ``bincount`` over the concatenated
   CSR neighbour slices of the transmitters (the SpMV);
@@ -25,9 +26,9 @@ allocates only small per-round work arrays proportional to the number of
 transmitters, never to ``n × rounds``.
 
 Tasks the kernels do not cover (custom node factories, fault/clock/collision
-models other than the paper's defaults, the collision-detection and
-centralized baselines) are delegated to the reference backend, so
-``--backend vectorized`` is always safe to pass.
+models other than the paper's defaults, the collision-detection baseline) are
+delegated to the reference backend, so ``--backend vectorized`` is always
+safe to pass.
 """
 
 from __future__ import annotations
@@ -754,16 +755,21 @@ def _run_arbitrary_kernel(task: SimulationTask) -> BackendResult:
 
 
 # --------------------------------------------------------------------------- #
-# Slotted baselines: round-robin and G²-colouring TDMA
+# Source-flood baselines: round-robin / TDMA slots and centralized schedules
 # --------------------------------------------------------------------------- #
-def _run_slotted_kernel(task: SimulationTask) -> BackendResult:
+def _run_source_flood(task: SimulationTask, tx_mask_for_round) -> BackendResult:
+    """Shared loop for baselines that only ever retransmit µ.
+
+    ``tx_mask_for_round(r, informed)`` returns the boolean transmit mask of
+    round ``r``; everything else — channel resolution, first-receipt
+    bookkeeping, trace recording, the ``all_informed`` stop rule — is
+    identical across the slotted and scheduled baselines.
+    """
     graph, n = task.graph, task.graph.n
     src = task.source
     payload = task.payload
     channel = _Channel(graph)
     rec = _Recorder(n, src, task.trace_level)
-    slots, periods = _parse_slot_labels(task.labels, n)
-    slot_residue = slots % periods
 
     informed = np.zeros(n, dtype=bool)
     informed[src] = True
@@ -772,7 +778,7 @@ def _run_slotted_kernel(task: SimulationTask) -> BackendResult:
     stop_round, stop_reason = 0, "budget"
 
     for r in range(1, task.max_rounds + 1):
-        tx_mask = informed & ((r % periods) == slot_residue)
+        tx_mask = tx_mask_for_round(r, informed)
         tx_ids, hears_ids, senders, collision_ids = channel.resolve(tx_mask)
         if hears_ids.size:
             new_ids = hears_ids[~informed[hears_ids]]
@@ -808,6 +814,40 @@ def _run_slotted_kernel(task: SimulationTask) -> BackendResult:
     return BackendResult(simulation=sim, derived={"completion_round": completion})
 
 
+def _run_slotted_kernel(task: SimulationTask) -> BackendResult:
+    """Round-robin / G²-colouring TDMA: informed node of slot s transmits at r ≡ s."""
+    slots, periods = _parse_slot_labels(task.labels, task.graph.n)
+    slot_residue = slots % periods
+
+    def tx_mask(r: int, informed: np.ndarray) -> np.ndarray:
+        return informed & ((r % periods) == slot_residue)
+
+    return _run_source_flood(task, tx_mask)
+
+
+def _run_centralized_kernel(task: SimulationTask) -> BackendResult:
+    """Centralized schedule: round ``r``'s precomputed transmitter set, once informed.
+
+    The schedule arrives as declarative data in ``task.extras["schedule"]``
+    (one node-id list per round), mirroring
+    :class:`~repro.baselines.centralized.ScheduledNode`, which transmits in
+    its scheduled rounds provided it already knows µ.
+    """
+    n = task.graph.n
+    schedule = [
+        np.asarray(round_ids, dtype=np.int64)
+        for round_ids in task.extras.get("schedule", ())
+    ]
+
+    def tx_mask(r: int, informed: np.ndarray) -> np.ndarray:
+        mask = np.zeros(n, dtype=bool)
+        if r <= len(schedule):
+            mask[schedule[r - 1]] = True
+        return mask & informed
+
+    return _run_source_flood(task, tx_mask)
+
+
 # --------------------------------------------------------------------------- #
 # the backend
 # --------------------------------------------------------------------------- #
@@ -832,6 +872,7 @@ class VectorizedBackend(SimulationBackend):
         "arbitrary": _run_arbitrary_kernel,
         "round_robin": _run_slotted_kernel,
         "coloring_tdma": _run_slotted_kernel,
+        "centralized": _run_centralized_kernel,
     }
 
     def __init__(self, *, strict: bool = False) -> None:
@@ -843,6 +884,10 @@ class VectorizedBackend(SimulationBackend):
         if task.protocol not in self._KERNELS:
             return False
         if task.source is None or task.graph.n == 0:
+            return False
+        if task.protocol == "centralized" and "schedule" not in task.extras:
+            # A centralized task without declarative schedule data can only be
+            # executed through its node objects.
             return False
         if task.collision_model is not None and type(task.collision_model) is not NoCollisionDetection:
             return False

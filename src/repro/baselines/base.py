@@ -19,67 +19,41 @@ collisions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from ..graphs.graph import Graph
+from ..core.outcome import Outcome
 from ..radio.engine import SimulationResult
 
 __all__ = ["BaselineOutcome"]
 
 
-@dataclass
-class BaselineOutcome:
-    """Result of running one baseline scheme on one (graph, source) instance.
+class BaselineOutcome(Outcome):
+    """Deprecated alias of the unified :class:`~repro.core.outcome.Outcome`.
 
-    Attributes
-    ----------
-    name:
-        Baseline identifier (``"round_robin"``, ``"coloring_tdma"``, …).
-    label_length_bits:
-        Length of the labeling scheme (max label length over nodes), in bits.
-    num_distinct_labels:
-        Number of distinct labels the scheme assigned.
-    completion_round:
-        Round by which every node was informed, or ``None`` on failure.
-    simulation:
-        The underlying simulator result (trace + nodes).
-    extras:
-        Baseline-specific details (e.g. number of colours, bits per symbol).
+    Kept so existing code can keep constructing baseline outcomes with the
+    historical keyword spelling (``name`` / ``label_length_bits`` /
+    ``num_distinct_labels``); the attributes of the same names remain
+    available as read-only aliases on every :class:`Outcome`.
     """
 
-    name: str
-    label_length_bits: int
-    num_distinct_labels: int
-    completion_round: Optional[int]
-    simulation: SimulationResult
-    extras: Dict[str, Any] = field(default_factory=dict)
-
-    @property
-    def completed(self) -> bool:
-        """True iff every node heard the source message."""
-        return self.completion_round is not None
-
-    @property
-    def total_transmissions(self) -> int:
-        """Total transmissions over the execution."""
-        return self.simulation.trace.total_transmissions()
-
-    @property
-    def total_collisions(self) -> int:
-        """Total (node, round) collision events over the execution."""
-        return self.simulation.trace.total_collisions()
-
-    def summary_row(self) -> Dict[str, Any]:
-        """Flat dict used by the report tables."""
-        return {
-            "scheme": self.name,
-            "label_bits": self.label_length_bits,
-            "distinct_labels": self.num_distinct_labels,
-            "rounds": self.completion_round,
-            "transmissions": self.total_transmissions,
-            "collisions": self.total_collisions,
-        }
+    def __init__(
+        self,
+        *,
+        name: str,
+        label_length_bits: int,
+        num_distinct_labels: int,
+        completion_round: Optional[int],
+        simulation: SimulationResult,
+        extras: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(
+            scheme=name,
+            simulation=simulation,
+            completion_round=completion_round,
+            label_bits=label_length_bits,
+            distinct_labels=num_distinct_labels,
+            extras=dict(extras or {}),
+        )
 
 
 def int_to_bits(value: int, width: int) -> str:

@@ -21,13 +21,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..backends import SimulationTask, resolve_backend
 from ..graphs.graph import Graph, GraphError
 from ..graphs.traversal import is_connected
-from ..radio.engine import run_protocol
 from ..radio.messages import Message, source_message
 from ..radio.node import RadioNode
-from .base import BaselineOutcome, bits_needed
 
 __all__ = ["compute_centralized_schedule", "ScheduledNode", "run_centralized_schedule"]
 
@@ -98,53 +95,23 @@ def run_centralized_schedule(
     payload: Any = "MSG",
     strategy: str = "greedy",
     max_rounds: Optional[int] = None,
+    fault_model=None,
+    clock_model=None,
     backend=None,
     trace_level: str = "full",
-) -> BaselineOutcome:
-    """Run the centralised greedy schedule and collect comparison metrics."""
-    schedule = compute_centralized_schedule(graph, source, strategy=strategy)
-    per_node_rounds: Dict[int, Set[int]] = {v: set() for v in graph.nodes()}
-    for idx, transmitters in enumerate(schedule, start=1):
-        for v in transmitters:
-            per_node_rounds[v].add(idx)
-    # Advice size: each scheduled round index costs ceil(log2(len(schedule)+1)) bits.
-    round_bits = bits_needed(len(schedule) + 1)
-    label_bits = max(
-        (len(rounds) * round_bits for rounds in per_node_rounds.values()), default=0
-    )
-    labels = {v: "0" for v in graph.nodes()}
-    budget = max_rounds if max_rounds is not None else len(schedule) + 2
+):
+    """Run the centralised greedy schedule and collect comparison metrics.
 
-    def factory(node_id: int, label: str, is_source: bool, source_payload: Any) -> ScheduledNode:
-        return ScheduledNode(
-            node_id,
-            label,
-            is_source=is_source,
-            source_payload=source_payload,
-            transmit_rounds=per_node_rounds[node_id],
-        )
+    Thin wrapper over the registered ``"centralized"`` scheme (see
+    :mod:`repro.api.schemes`); returns the unified outcome record.  The
+    schedule travels with the task as declarative data, so the vectorized
+    backend executes it natively instead of falling back to the object
+    engine.
+    """
+    from ..api.schemes import get_scheme
 
-    # The schedule lives in the node objects, so every backend delegates this
-    # task to the reference engine.
-    result = resolve_backend(backend).run_task(
-        SimulationTask(
-            protocol="centralized",
-            graph=graph,
-            labels=labels,
-            node_factory=factory,
-            source=source,
-            payload=payload,
-            max_rounds=budget,
-            stop_rule="all_informed",
-            trace_level=trace_level,
-        )
-    )
-    sim = result.simulation
-    return BaselineOutcome(
-        name="centralized",
-        label_length_bits=label_bits,
-        num_distinct_labels=len({frozenset(r) for r in per_node_rounds.values()}),
-        completion_round=sim.trace.broadcast_completion_round(),
-        simulation=sim,
-        extras={"schedule_length": len(schedule)},
+    return get_scheme("centralized").run(
+        graph, source, payload=payload, strategy=strategy, max_rounds=max_rounds,
+        fault_model=fault_model, clock_model=clock_model,
+        backend=backend, trace_level=trace_level,
     )

@@ -28,13 +28,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from ..backends import SimulationTask, resolve_backend
-from ..graphs.graph import Graph, GraphError
-from ..radio.collision import WithCollisionDetection
-from ..radio.engine import RadioSimulator, SimulationResult
+from ..graphs.graph import Graph
 from ..radio.messages import Message, source_message
 from ..radio.node import RadioNode
-from .base import BaselineOutcome
 
 __all__ = [
     "SLOT_LENGTH",
@@ -158,61 +154,24 @@ def run_collision_detection_broadcast(
     payload: str = "MSG",
     max_rounds: Optional[int] = None,
     with_detection: bool = True,
+    fault_model=None,
+    clock_model=None,
     backend=None,
     trace_level: str = "full",
-) -> BaselineOutcome:
+):
     """Run the anonymous bit-signalling broadcast.
 
     ``with_detection=False`` runs the same protocol under the paper's default
     no-collision-detection channel, where it is expected to fail — used by the
     tests to demonstrate that the scheme genuinely needs the stronger model.
+
+    Thin wrapper over the registered ``"collision_detection"`` scheme (see
+    :mod:`repro.api.schemes`); returns the unified outcome record.
     """
-    if source not in graph:
-        raise GraphError(f"source {source} is not a node of {graph!r}")
-    labels = {v: "0" for v in graph.nodes()}
-    symbol_count = 1 + LENGTH_HEADER_BITS + 8 * len(str(payload).encode("utf-8"))
-    budget = max_rounds if max_rounds is not None else SLOT_LENGTH * symbol_count + graph.n + 10
+    from ..api.schemes import get_scheme
 
-    def factory(node_id: int, label: str, is_source: bool, source_payload: Any) -> BitSignalNode:
-        return BitSignalNode(node_id, label, is_source=is_source, source_payload=source_payload)
-
-    def all_decoded(s) -> bool:
-        return all(
-            isinstance(node, BitSignalNode) and node.has_decoded for node in s.nodes
-        )
-
-    # Bit-signalling needs node introspection and the detection channel, so
-    # every backend delegates this task to the reference engine.
-    backend_result = resolve_backend(backend).run_task(
-        SimulationTask(
-            protocol="collision_detection",
-            graph=graph,
-            labels=labels,
-            node_factory=factory,
-            source=source,
-            payload=str(payload),
-            max_rounds=budget,
-            stop_condition=all_decoded,
-            trace_level=trace_level,
-            collision_model=WithCollisionDetection() if with_detection else None,
-        )
-    )
-    result: SimulationResult = backend_result.simulation
-    decoded_ok = all(
-        isinstance(node, BitSignalNode) and node.decoded == str(payload)
-        for node in result.nodes
-    )
-    completion = result.stop_round if (result.completed and decoded_ok) else None
-    return BaselineOutcome(
-        name="collision_detection",
-        label_length_bits=0,
-        num_distinct_labels=1,
-        completion_round=completion,
-        simulation=result,
-        extras={
-            "symbols": symbol_count,
-            "slot_length": SLOT_LENGTH,
-            "with_detection": with_detection,
-            "decoded_correctly": decoded_ok,
-        },
+    return get_scheme("collision_detection").run(
+        graph, source, payload=payload, max_rounds=max_rounds,
+        with_detection=with_detection, fault_model=fault_model,
+        clock_model=clock_model, backend=backend, trace_level=trace_level,
     )

@@ -17,12 +17,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
-from ..backends import SimulationTask, resolve_backend
 from ..graphs.coloring import square_coloring
-from ..graphs.graph import Graph, GraphError
+from ..graphs.graph import Graph
 from ..radio.messages import Message, source_message
 from ..radio.node import RadioNode
-from .base import BaselineOutcome, bits_needed, int_to_bits
+from .base import bits_needed, int_to_bits
 
 __all__ = ["coloring_tdma_labels", "ColoringTdmaNode", "run_coloring_tdma"]
 
@@ -77,40 +76,20 @@ def run_coloring_tdma(
     *,
     payload: Any = "MSG",
     max_rounds: Optional[int] = None,
+    fault_model=None,
+    clock_model=None,
     backend=None,
     trace_level: str = "full",
-) -> BaselineOutcome:
-    """Run the G²-colouring TDMA baseline and collect comparison metrics."""
-    if source not in graph:
-        raise GraphError(f"source {source} is not a node of {graph!r}")
-    labels, num_colours = coloring_tdma_labels(graph)
-    budget = max_rounds if max_rounds is not None else num_colours * (graph.n + 2)
+):
+    """Run the G²-colouring TDMA baseline and collect comparison metrics.
 
-    def factory(node_id: int, label: str, is_source: bool, source_payload: Any) -> ColoringTdmaNode:
-        return ColoringTdmaNode(node_id, label, is_source=is_source, source_payload=source_payload)
+    Thin wrapper over the registered ``"coloring_tdma"`` scheme (see
+    :mod:`repro.api.schemes`); returns the unified outcome record.
+    """
+    from ..api.schemes import get_scheme
 
-    result = resolve_backend(backend).run_task(
-        SimulationTask(
-            protocol="coloring_tdma",
-            graph=graph,
-            labels=labels,
-            node_factory=factory,
-            source=source,
-            payload=payload,
-            max_rounds=budget,
-            stop_rule="all_informed",
-            trace_level=trace_level,
-        )
-    )
-    sim = result.simulation
-    completion = result.derived.get(
-        "completion_round", sim.trace.broadcast_completion_round()
-    )
-    return BaselineOutcome(
-        name="coloring_tdma",
-        label_length_bits=max(len(lab) for lab in labels.values()),
-        num_distinct_labels=len(set(labels.values())),
-        completion_round=completion,
-        simulation=sim,
-        extras={"num_colours": num_colours},
+    return get_scheme("coloring_tdma").run(
+        graph, source, payload=payload, max_rounds=max_rounds,
+        fault_model=fault_model, clock_model=clock_model,
+        backend=backend, trace_level=trace_level,
     )

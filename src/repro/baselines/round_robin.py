@@ -19,11 +19,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from ..backends import SimulationTask, resolve_backend
-from ..graphs.graph import Graph, GraphError
+from ..graphs.graph import Graph
 from ..radio.messages import Message, source_message
 from ..radio.node import RadioNode
-from .base import BaselineOutcome, bits_needed, int_to_bits
+from .base import bits_needed, int_to_bits
 
 __all__ = ["round_robin_labels", "RoundRobinNode", "run_round_robin"]
 
@@ -80,40 +79,20 @@ def run_round_robin(
     *,
     payload: Any = "MSG",
     max_rounds: Optional[int] = None,
+    fault_model=None,
+    clock_model=None,
     backend=None,
     trace_level: str = "full",
-) -> BaselineOutcome:
-    """Run the round-robin baseline and collect comparison metrics."""
-    if source not in graph:
-        raise GraphError(f"source {source} is not a node of {graph!r}")
-    labels = round_robin_labels(graph)
-    budget = max_rounds if max_rounds is not None else graph.n * (graph.n + 2)
+):
+    """Run the round-robin baseline and collect comparison metrics.
 
-    def factory(node_id: int, label: str, is_source: bool, source_payload: Any) -> RoundRobinNode:
-        return RoundRobinNode(node_id, label, is_source=is_source, source_payload=source_payload)
+    Thin wrapper over the registered ``"round_robin"`` scheme (see
+    :mod:`repro.api.schemes`); returns the unified outcome record.
+    """
+    from ..api.schemes import get_scheme
 
-    result = resolve_backend(backend).run_task(
-        SimulationTask(
-            protocol="round_robin",
-            graph=graph,
-            labels=labels,
-            node_factory=factory,
-            source=source,
-            payload=payload,
-            max_rounds=budget,
-            stop_rule="all_informed",
-            trace_level=trace_level,
-        )
-    )
-    sim = result.simulation
-    completion = result.derived.get(
-        "completion_round", sim.trace.broadcast_completion_round()
-    )
-    return BaselineOutcome(
-        name="round_robin",
-        label_length_bits=max(len(lab) for lab in labels.values()),
-        num_distinct_labels=len(set(labels.values())),
-        completion_round=completion,
-        simulation=sim,
-        extras={"period": graph.n},
+    return get_scheme("round_robin").run(
+        graph, source, payload=payload, max_rounds=max_rounds,
+        fault_model=fault_model, clock_model=clock_model,
+        backend=backend, trace_level=trace_level,
     )

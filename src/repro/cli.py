@@ -5,8 +5,12 @@ Installed as ``python -m repro`` (see :mod:`repro.__main__`).  Subcommands:
 * ``label``      — compute λ / λ_ack / λ_arb for a graph and print the labels;
 * ``broadcast``  — label and simulate one broadcast, print the outcome and the
   Figure-1 style rendering;
+* ``run``        — execute a declarative scenario JSON file with any
+  registered scheme (``repro run scenario.json``);
+* ``schemes``    — list the scheme registry;
 * ``figure1``    — print the Figure 1 reproduction;
-* ``sweep``      — run a scheme/family sweep and print the comparison table.
+* ``sweep``      — run a scheme/family grid (optionally with fault/clock
+  axes and parallel workers) and print a table, JSON or CSV.
 
 Graphs are specified either as a generator expression ``family:n[:seed]``
 (e.g. ``grid:25``, ``geometric:60:7``) or as a path to an edge-list file
@@ -17,10 +21,26 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 from typing import Optional, Sequence
 
-from .analysis import SweepConfig, format_metrics_table, run_sweep
+from .analysis import (
+    format_metrics_table,
+    metrics_from_run,
+    metrics_to_csv,
+    metrics_to_json,
+)
+from .api import (
+    GridConfig,
+    Scenario,
+    get_scheme,
+    graph_from_spec,
+    normalize_clock_spec,
+    normalize_fault_spec,
+    run_grid,
+    scheme_names,
+    spec_label,
+)
+from .api import run as run_scenario
 from .backends import BACKEND_NAMES
 from .core import (
     lambda_ack_scheme,
@@ -31,25 +51,40 @@ from .core import (
     run_broadcast,
     verify_broadcast_outcome,
 )
-from .graphs import Graph, family_names, generate_family, load_edge_list
+from .graphs import Graph
 from .viz import figure1_report, render_labeled_layers, transmit_receive_maps
 
 __all__ = ["main", "build_parser", "parse_graph_spec"]
 
 
 def parse_graph_spec(spec: str) -> Graph:
-    """Parse ``family:n[:seed]`` or an edge-list file path into a graph."""
-    if Path(spec).exists():
-        return load_edge_list(spec)
-    parts = spec.split(":")
-    if len(parts) not in (2, 3) or parts[0] not in family_names():
-        raise argparse.ArgumentTypeError(
-            f"graph spec {spec!r} is neither an existing file nor 'family:n[:seed]' "
-            f"with family in {family_names()}"
-        )
-    n = int(parts[1])
-    seed = int(parts[2]) if len(parts) == 3 else 0
-    return generate_family(parts[0], n, seed)
+    """Parse ``family:n[:seed]`` or an edge-list file path into a graph.
+
+    Argparse-friendly wrapper over :func:`repro.api.graph_from_spec`: size and
+    seed are validated up front (positive integer size, integer seed), so a
+    malformed spec fails with one clear usage error instead of a traceback
+    from inside a generator.
+    """
+    try:
+        return graph_from_spec(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _parse_fault_arg(text: str):
+    """Argparse type for ``--faults``: validate the shorthand up front."""
+    try:
+        return normalize_fault_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _parse_clock_arg(text: str):
+    """Argparse type for ``--clocks``: validate the shorthand up front."""
+    try:
+        return normalize_clock_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,13 +109,41 @@ def build_parser() -> argparse.ArgumentParser:
     bcast.add_argument("--render", action="store_true",
                        help="print the Figure-1 style annotated layers")
 
+    runp = sub.add_parser(
+        "run", help="execute a declarative scenario JSON file (any registered scheme)"
+    )
+    runp.add_argument("scenario", help="path to a scenario JSON file (see repro.api.Scenario)")
+    runp.add_argument("--scheme", default=None,
+                      help="override the scenario's scheme (see `repro schemes`)")
+    runp.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                      help="override the scenario's backend")
+    runp.add_argument("--trace-level", choices=["none", "summary", "full"], default=None,
+                      help="override the scenario's trace level")
+    runp.add_argument("--output", choices=["text", "json"], default="text",
+                      help="text summary or a machine-readable JSON metrics row")
+
+    sub.add_parser("schemes", help="list the registered schemes")
+
     sub.add_parser("figure1", help="print the Figure 1 reproduction")
 
-    sweep = sub.add_parser("sweep", help="run a scheme/family sweep and print the table")
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scheme/family grid (with optional fault/clock axes) "
+             "and print a table, JSON or CSV",
+    )
     sweep.add_argument("--families", nargs="+", default=["path", "grid", "gnp_sparse"])
     sweep.add_argument("--sizes", nargs="+", type=int, default=[16, 32])
-    sweep.add_argument("--schemes", nargs="+", default=["lambda", "round_robin"])
+    sweep.add_argument("--schemes", nargs="+", default=["lambda", "round_robin"],
+                       help=f"registered scheme names: {scheme_names()}")
     sweep.add_argument("--seeds-per-size", type=int, default=1)
+    sweep.add_argument("--source-rule", choices=["zero", "last", "center-ish"],
+                       default="zero")
+    sweep.add_argument("--base-seed", type=int, default=2019)
+    sweep.add_argument("--faults", nargs="+", type=_parse_fault_arg, default=["none"],
+                       help="fault-model axis, e.g. none drop:0.1:7 crash:3@5")
+    sweep.add_argument("--clocks", nargs="+", type=_parse_clock_arg, default=["sync"],
+                       help="clock-model axis, e.g. sync offset:3 random_offsets:50:9")
+    sweep.add_argument("--payload", default="MSG")
     sweep.add_argument("--backend", choices=list(BACKEND_NAMES), default="reference",
                        help="simulation engine (vectorized = NumPy CSR kernels)")
     sweep.add_argument("--jobs", type=int, default=1,
@@ -89,6 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace-level", choices=["none", "summary", "full"],
                        default="summary",
                        help="trace recording level for each simulation")
+    sweep.add_argument("--output", choices=["table", "json", "csv"], default="table",
+                       help="output format for the metric rows")
 
     return parser
 
@@ -121,7 +186,7 @@ def _cmd_broadcast(args) -> int:
                                                  payload=args.payload,
                                                  backend=args.backend)
     print(f"graph: {graph.summary()}")
-    print(f"scheme: {outcome.labeling.scheme} ({outcome.labeling.length} bits)")
+    print(f"scheme: {outcome.scheme} ({outcome.label_bits} bits)")
     print(f"completion round: {outcome.completion_round} (bound {outcome.bound_broadcast})")
     if outcome.acknowledgement_round is not None:
         print(f"acknowledgement round: {outcome.acknowledgement_round}")
@@ -139,6 +204,48 @@ def _cmd_broadcast(args) -> int:
     return 0 if not violations else 1
 
 
+def _cmd_run(args) -> int:
+    scenario = Scenario.load(args.scenario)
+    graph = scenario.materialize_graph()
+    source = scenario.resolve_source(graph)
+    outcome = run_scenario(scenario, scheme=args.scheme, backend=args.backend,
+                           trace_level=args.trace_level, graph=graph, source=source)
+    if args.output == "json":
+        row = metrics_from_run(
+            graph, outcome, family=scenario.family, source=source,
+            fault=spec_label(scenario.faults, default="none"),
+            clock=spec_label(scenario.clock, default="sync"),
+        )
+        print(metrics_to_json([row]))
+    else:
+        print(f"scenario: {args.scenario}")
+        print(f"graph: {graph.summary()}")
+        print(f"scheme: {outcome.scheme} ({outcome.label_bits} bits, "
+              f"{outcome.distinct_labels} distinct labels)")
+        print(f"source: {source}  payload: {scenario.payload!r}")
+        if scenario.faults is not None:
+            print(f"faults: {scenario.faults}")
+        if scenario.clock is not None:
+            print(f"clock: {scenario.clock}")
+        bound = f" (bound {outcome.bound_broadcast})" if outcome.bound_broadcast else ""
+        print(f"completion round: {outcome.completion_round}{bound}")
+        if outcome.acknowledgement_round is not None:
+            print(f"acknowledgement round: {outcome.acknowledgement_round}")
+        if outcome.common_completion_round is not None:
+            print(f"common completion round: {outcome.common_completion_round}")
+        print(f"transmissions: {outcome.total_transmissions}, "
+              f"collisions: {outcome.total_collisions}")
+        print(f"status: {'COMPLETED' if outcome.completed else 'INCOMPLETE'}")
+    return 0 if outcome.completed else 1
+
+
+def _cmd_schemes(args) -> int:
+    for name in scheme_names():
+        scheme = get_scheme(name)
+        print(f"{name:20s} [{scheme.kind:8s}] {scheme.description}")
+    return 0
+
+
 def _cmd_figure1(args) -> int:
     result = figure1_report()
     print(result.rendering)
@@ -148,11 +255,25 @@ def _cmd_figure1(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    cfg = SweepConfig(families=args.families, sizes=args.sizes, schemes=args.schemes,
-                      seeds_per_size=args.seeds_per_size)
-    rows = run_sweep(cfg, backend=args.backend, jobs=args.jobs,
-                     trace_level=args.trace_level)
-    print(format_metrics_table(rows, title="sweep results"))
+    cfg = GridConfig(
+        families=args.families,
+        sizes=args.sizes,
+        seeds_per_size=args.seeds_per_size,
+        schemes=args.schemes,
+        source_rule=args.source_rule,
+        base_seed=args.base_seed,
+        faults=args.faults,
+        clocks=args.clocks,
+        payload=args.payload,
+    )
+    rows = run_grid(cfg, backend=args.backend, jobs=args.jobs,
+                    trace_level=args.trace_level)
+    if args.output == "json":
+        print(metrics_to_json(rows))
+    elif args.output == "csv":
+        print(metrics_to_csv(rows), end="")
+    else:
+        print(format_metrics_table(rows, title="sweep results"))
     return 0
 
 
@@ -163,6 +284,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "label": _cmd_label,
         "broadcast": _cmd_broadcast,
+        "run": _cmd_run,
+        "schemes": _cmd_schemes,
         "figure1": _cmd_figure1,
         "sweep": _cmd_sweep,
     }

@@ -23,6 +23,7 @@ from .labeling import (
     lambda_scheme,
 )
 from .labels import Label, distinct_labels, label_length, scheme_length
+from .outcome import Outcome
 from .protocols import (
     AcknowledgedBroadcastNode,
     ArbitrarySourceNode,
@@ -68,6 +69,7 @@ __all__ = [
     "Label",
     "LabelSearchResult",
     "Labeling",
+    "Outcome",
     "SequenceConstruction",
     "Stage",
     "TreeFloodNode",

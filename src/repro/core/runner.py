@@ -1,16 +1,19 @@
 """High-level entry points tying labeling schemes, protocols and the simulator.
 
-These are the functions a downstream user of the library reaches for first:
+These are the classic per-scheme convenience functions:
 
 * :func:`run_broadcast` — label a graph with λ and execute Algorithm B.
 * :func:`run_acknowledged_broadcast` — λ_ack + B_ack.
 * :func:`run_arbitrary_source_broadcast` — λ_arb + B_arb (source unknown when
   labeling).
 
-Each returns a small result record bundling the labeling, the execution trace
-and the headline metrics (completion round, acknowledgement round, message
-counts) together with the theoretical bounds from the paper so callers can
-assert ``result.completion_round <= result.bound_broadcast`` directly.
+Since the unified experiment API landed, each is a thin wrapper over the
+scheme registry (:mod:`repro.api.schemes`): the labeler / task-builder /
+outcome-deriver logic lives in the registered :class:`~repro.api.schemes.
+Scheme` classes, and all three functions return the unified
+:class:`~repro.core.outcome.Outcome` (of which :data:`BroadcastOutcome` is a
+deprecated alias).  Prefer ``repro.api.run`` / ``get_scheme(...).run`` for new
+code — those also cover the four baselines with the same calling convention.
 
 Every entry point accepts a ``backend`` (``"reference"``, ``"vectorized"``,
 or a :class:`~repro.backends.base.SimulationBackend` instance) and a
@@ -21,18 +24,14 @@ the faithful object engine with full traces; sweeps and benchmarks pass
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Optional, Union
 
-from ..backends import BackendResult, SimulationBackend, SimulationTask, resolve_backend
-from ..graphs.graph import Graph, GraphError
+from ..backends import SimulationBackend
+from ..graphs.graph import Graph
 from ..radio.clock import ClockModel
-from ..radio.engine import SimulationResult, run_protocol
 from ..radio.faults import FaultModel
-from .labeling import Labeling, lambda_ack_scheme, lambda_arb_scheme, lambda_scheme
-from .protocols.acknowledged import make_acknowledged_node
-from .protocols.arbitrary import ArbitrarySourceNode, make_arbitrary_node
-from .protocols.broadcast import make_broadcast_node
+from .labeling import Labeling
+from .outcome import Outcome
 
 __all__ = [
     "BroadcastOutcome",
@@ -43,67 +42,8 @@ __all__ = [
 
 BackendSpec = Optional[Union[str, SimulationBackend]]
 
-
-@dataclass
-class BroadcastOutcome:
-    """Result of one end-to-end labeled-broadcast execution.
-
-    Attributes
-    ----------
-    labeling:
-        The labeling scheme instance used.
-    simulation:
-        The raw simulator result (trace + final node objects; node objects are
-        empty for array backends, which have no per-node state to return).
-    completion_round:
-        Round in which the last node first heard µ (``None`` if broadcast did
-        not complete within the round budget — which would contradict the
-        paper's theorems and is asserted against in the tests).
-    acknowledgement_round:
-        Round in which the source / coordinator first heard an ack
-        (acknowledged variants only).
-    common_completion_round:
-        For B_arb: the common round in which all nodes know broadcast is done.
-    bound_broadcast:
-        The paper's broadcast bound ``2n − 3`` (Theorem 2.9).
-    bound_acknowledgement:
-        The paper's acknowledgement bound ``t + n − 2`` with ``t`` the
-        completion round (Theorem 3.9); ``None`` for plain broadcast.
-    """
-
-    labeling: Labeling
-    simulation: SimulationResult
-    completion_round: Optional[int]
-    acknowledgement_round: Optional[int] = None
-    common_completion_round: Optional[int] = None
-    bound_broadcast: int = 0
-    bound_acknowledgement: Optional[int] = None
-    extras: Dict[str, Any] = field(default_factory=dict)
-
-    @property
-    def trace(self):
-        """The execution trace."""
-        return self.simulation.trace
-
-    @property
-    def completed(self) -> bool:
-        """True iff every node heard µ."""
-        return self.completion_round is not None
-
-    @property
-    def total_transmissions(self) -> int:
-        """Total transmissions over the whole execution."""
-        return self.trace.total_transmissions()
-
-    @property
-    def total_collisions(self) -> int:
-        """Total (node, round) collision events over the whole execution."""
-        return self.trace.total_collisions()
-
-
-def _broadcast_bound(n: int) -> int:
-    """Theorem 2.9's bound: all nodes informed within 2n − 3 rounds (≥ 1)."""
-    return max(1, 2 * n - 3)
+#: Deprecated alias of the unified :class:`~repro.core.outcome.Outcome`.
+BroadcastOutcome = Outcome
 
 
 def run_broadcast(
@@ -118,7 +58,7 @@ def run_broadcast(
     clock_model: Optional[ClockModel] = None,
     backend: BackendSpec = None,
     trace_level: str = "full",
-) -> BroadcastOutcome:
+) -> Outcome:
     """Label ``graph`` with λ and execute Algorithm B from ``source``.
 
     Parameters
@@ -138,35 +78,12 @@ def run_broadcast(
     backend / trace_level:
         Execution engine and trace recording level (see module docstring).
     """
-    lab = labeling if labeling is not None else lambda_scheme(graph, source, strategy=strategy)
-    if lab.scheme != "lambda":
-        raise GraphError(f"run_broadcast expects a λ labeling, got {lab.scheme!r}")
-    budget = max_rounds if max_rounds is not None else _broadcast_bound(graph.n) + 4
-    result = resolve_backend(backend).run_task(
-        SimulationTask(
-            protocol="broadcast",
-            graph=graph,
-            labels=lab.labels,
-            node_factory=make_broadcast_node,
-            source=source,
-            payload=payload,
-            max_rounds=budget,
-            stop_rule="all_informed",
-            trace_level=trace_level,
-            fault_model=fault_model,
-            clock_model=clock_model,
-        )
-    )
-    sim = result.simulation
-    if "completion_round" in result.derived:
-        completion = result.derived["completion_round"]
-    else:
-        completion = sim.trace.broadcast_completion_round()
-    return BroadcastOutcome(
-        labeling=lab,
-        simulation=sim,
-        completion_round=completion,
-        bound_broadcast=_broadcast_bound(graph.n),
+    from ..api.schemes import get_scheme
+
+    return get_scheme("lambda").run(
+        graph, source, payload=payload, strategy=strategy, labeling=labeling,
+        max_rounds=max_rounds, fault_model=fault_model, clock_model=clock_model,
+        backend=backend, trace_level=trace_level,
     )
 
 
@@ -182,54 +99,14 @@ def run_acknowledged_broadcast(
     clock_model: Optional[ClockModel] = None,
     backend: BackendSpec = None,
     trace_level: str = "full",
-) -> BroadcastOutcome:
+) -> Outcome:
     """Label ``graph`` with λ_ack and execute Algorithm B_ack from ``source``."""
-    lab = labeling if labeling is not None else lambda_ack_scheme(graph, source, strategy=strategy)
-    if lab.scheme != "lambda_ack":
-        raise GraphError(f"run_acknowledged_broadcast expects a λ_ack labeling, got {lab.scheme!r}")
-    budget = max_rounds if max_rounds is not None else 3 * graph.n + 6
-    if graph.n == 1:
-        # A single-node network: broadcast and acknowledgement are vacuous.
-        sim = run_protocol(
-            graph, lab.labels, make_acknowledged_node, source=source,
-            source_payload=payload, max_rounds=1, trace_level=trace_level,
-        )
-        return BroadcastOutcome(
-            labeling=lab, simulation=sim, completion_round=1,
-            acknowledgement_round=1, bound_broadcast=1, bound_acknowledgement=2,
-        )
-    result = resolve_backend(backend).run_task(
-        SimulationTask(
-            protocol="acknowledged",
-            graph=graph,
-            labels=lab.labels,
-            node_factory=make_acknowledged_node,
-            source=source,
-            payload=payload,
-            max_rounds=budget,
-            stop_rule="acknowledged",
-            trace_level=trace_level,
-            fault_model=fault_model,
-            clock_model=clock_model,
-        )
-    )
-    sim = result.simulation
-    if "completion_round" in result.derived:
-        completion = result.derived["completion_round"]
-        ack_round = result.derived.get("acknowledgement_round")
-    else:
-        completion = sim.trace.broadcast_completion_round()
-        ack_round = sim.trace.first_ack_at(source)
-    bound_ack = None
-    if completion is not None:
-        bound_ack = completion + max(1, graph.n - 2)
-    return BroadcastOutcome(
-        labeling=lab,
-        simulation=sim,
-        completion_round=completion,
-        acknowledgement_round=ack_round,
-        bound_broadcast=_broadcast_bound(graph.n),
-        bound_acknowledgement=bound_ack,
+    from ..api.schemes import get_scheme
+
+    return get_scheme("lambda_ack").run(
+        graph, source, payload=payload, strategy=strategy, labeling=labeling,
+        max_rounds=max_rounds, fault_model=fault_model, clock_model=clock_model,
+        backend=backend, trace_level=trace_level,
     )
 
 
@@ -246,7 +123,7 @@ def run_arbitrary_source_broadcast(
     clock_model: Optional[ClockModel] = None,
     backend: BackendSpec = None,
     trace_level: str = "full",
-) -> BroadcastOutcome:
+) -> Outcome:
     """Label ``graph`` with λ_arb (source unknown) and execute B_arb.
 
     ``true_source`` is the node that actually holds µ at run time; the labeling
@@ -255,117 +132,11 @@ def run_arbitrary_source_broadcast(
     final phase-3 broadcast, and ``common_completion_round`` is the common
     round in which every node knows the broadcast has completed.
     """
-    if true_source not in graph:
-        raise GraphError(f"true source {true_source} is not a node of {graph!r}")
-    lab = labeling if labeling is not None else lambda_arb_scheme(
-        graph, coordinator=coordinator, strategy=strategy
+    from ..api.schemes import get_scheme
+
+    return get_scheme("lambda_arb").run(
+        graph, true_source, payload=payload, coordinator=coordinator,
+        strategy=strategy, labeling=labeling, max_rounds=max_rounds,
+        fault_model=fault_model, clock_model=clock_model,
+        backend=backend, trace_level=trace_level,
     )
-    if lab.scheme != "lambda_arb":
-        raise GraphError(
-            f"run_arbitrary_source_broadcast expects a λ_arb labeling, got {lab.scheme!r}"
-        )
-    # Three acknowledged broadcasts plus guard delays: a 12n + 30 budget is
-    # comfortably above the worst case (each phase is O(n) rounds).
-    budget = max_rounds if max_rounds is not None else 12 * graph.n + 30
-    if graph.n == 1:
-        sim = run_protocol(
-            graph, lab.labels, make_arbitrary_node, source=true_source,
-            source_payload=payload, max_rounds=1, trace_level=trace_level,
-        )
-        return BroadcastOutcome(
-            labeling=lab, simulation=sim, completion_round=1,
-            acknowledgement_round=1, common_completion_round=1, bound_broadcast=1,
-            extras={"true_source": true_source, "coordinator": lab.coordinator},
-        )
-
-    def everyone_knows_completion(sim) -> bool:
-        return all(
-            isinstance(node, ArbitrarySourceNode) and node.knows_completion
-            for node in sim.nodes
-        )
-
-    coordinator_node = lab.coordinator if lab.coordinator is not None else 0
-    result = resolve_backend(backend).run_task(
-        SimulationTask(
-            protocol="arbitrary",
-            graph=graph,
-            labels=lab.labels,
-            node_factory=make_arbitrary_node,
-            source=true_source,
-            payload=payload,
-            max_rounds=budget,
-            stop_rule="arb_complete",
-            stop_condition=everyone_knows_completion,
-            trace_level=trace_level,
-            fault_model=fault_model,
-            clock_model=clock_model,
-            extras={"coordinator": coordinator_node},
-        )
-    )
-    sim = result.simulation
-    if "completion_round" in result.derived:
-        completion = result.derived["completion_round"]
-        ack_round = result.derived.get("acknowledgement_round")
-        common = result.derived.get("common_completion_round")
-    else:
-        completion, ack_round, common = _derive_arbitrary_outcome(
-            graph, sim, true_source, coordinator_node
-        )
-    return BroadcastOutcome(
-        labeling=lab,
-        simulation=sim,
-        completion_round=completion,
-        acknowledgement_round=ack_round,
-        common_completion_round=common,
-        bound_broadcast=_broadcast_bound(graph.n),
-        extras={"true_source": true_source, "coordinator": coordinator_node},
-    )
-
-
-def _derive_arbitrary_outcome(graph, sim, true_source, coordinator_node):
-    """Assemble B_arb's headline rounds from the trace and node objects.
-
-    Completion for B_arb: every node other than the coordinator and the true
-    source hears µ via a SOURCE message in phase 3; the true source holds µ
-    from the start; the coordinator learns µ from the phase-2 ack payload.
-    The trace-level helper (which requires *every* non-source node to hear a
-    SOURCE message) would therefore never credit the coordinator, so the
-    completion round is assembled here from those three ingredients.
-    """
-    ack_round = sim.trace.first_ack_at(coordinator_node)
-    receipt_rounds = []
-    missing = False
-    for v in graph.nodes():
-        if v in (true_source, coordinator_node):
-            continue
-        first = sim.trace.first_source_receipt(v)
-        if first is None:
-            missing = True
-            break
-        receipt_rounds.append(first)
-    coordinator_knows = any(
-        isinstance(node, ArbitrarySourceNode)
-        and node.node_id == coordinator_node
-        and (node.sourcemsg is not None)
-        for node in sim.nodes
-    )
-    coordinator_learned_round = None
-    if coordinator_node != true_source:
-        # The phase-2 ack (the one carrying µ) is the last ack the coordinator
-        # hears; the trace tracks it incrementally at every level.
-        coordinator_learned_round = sim.trace.last_ack_at(coordinator_node)
-    completion = None
-    if not missing and (coordinator_knows or coordinator_node == true_source):
-        candidates = list(receipt_rounds)
-        if coordinator_learned_round is not None:
-            candidates.append(coordinator_learned_round)
-        completion = max(candidates) if candidates else 1
-    common_rounds = {
-        node.completion_known_local_round
-        for node in sim.nodes
-        if isinstance(node, ArbitrarySourceNode)
-    }
-    common = None
-    if len(common_rounds) == 1 and None not in common_rounds:
-        common = common_rounds.pop()
-    return completion, ack_round, common

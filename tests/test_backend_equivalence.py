@@ -20,7 +20,11 @@ from repro.backends import (
     VectorizedBackend,
     resolve_backend,
 )
-from repro.baselines import run_coloring_tdma, run_round_robin
+from repro.baselines import (
+    run_centralized_schedule,
+    run_coloring_tdma,
+    run_round_robin,
+)
 from repro.core import (
     run_acknowledged_broadcast,
     run_arbitrary_source_broadcast,
@@ -41,6 +45,9 @@ GRID = [
     for seed in SEEDS[: (2 if family in ("gnp_sparse", "geometric") else 1)]
 ]
 GRID_IDS = [f"{f}-{n}-s{s}" for f, n, s in GRID]
+
+#: Byte-level trace-equality cases for the centralized-schedule kernel.
+CENTRALIZED_FULL_CASES = [("path", 16, 1), ("grid", 16, 1), ("gnp_sparse", 25, 7)]
 
 
 def _instance(family: str, size: int, seed: int):
@@ -134,6 +141,38 @@ class TestBaselineEquivalence:
         ref = run_coloring_tdma(graph, source, backend="reference", trace_level="summary")
         vec = run_coloring_tdma(graph, source, backend="vectorized", trace_level="summary")
         assert _baseline_fingerprint(vec) == _baseline_fingerprint(ref)
+
+    @pytest.mark.parametrize("family,size,seed", GRID, ids=GRID_IDS)
+    def test_centralized_identical(self, family, size, seed):
+        graph, source = _instance(family, size, seed)
+        ref = run_centralized_schedule(graph, source, backend="reference",
+                                       trace_level="summary")
+        vec = run_centralized_schedule(graph, source, backend="vectorized",
+                                       trace_level="summary")
+        assert _baseline_fingerprint(vec) == _baseline_fingerprint(ref)
+        assert ref.label_length_bits == vec.label_length_bits
+
+    @pytest.mark.parametrize("family,size,seed", CENTRALIZED_FULL_CASES,
+                             ids=[f"{f}-{n}" for f, n, _ in CENTRALIZED_FULL_CASES])
+    def test_centralized_full_trace_identical(self, family, size, seed):
+        graph, source = _instance(family, size, seed)
+        ref = run_centralized_schedule(graph, source, backend="reference",
+                                       trace_level="full")
+        vec = run_centralized_schedule(graph, source, backend="vectorized",
+                                       trace_level="full")
+        assert vec.simulation.trace.to_json() == ref.simulation.trace.to_json()
+
+    def test_centralized_runs_natively_on_the_vectorized_backend(self):
+        # The kernel executes the schedule itself: no node objects are
+        # materialised, which is the signature of the array path (the old
+        # behaviour silently fell back to the reference engine).
+        graph, source = _instance("grid", 16, 1)
+        vec = run_centralized_schedule(graph, source, backend="vectorized",
+                                       trace_level="summary")
+        ref = run_centralized_schedule(graph, source, backend="reference",
+                                       trace_level="summary")
+        assert len(vec.simulation.nodes) == 0
+        assert len(ref.simulation.nodes) == graph.n
 
 
 class TestFullTraceEquivalence:

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 import argparse
+import csv
+import io
+import json
 
 import pytest
 
+from repro.api import Scenario
 from repro.cli import build_parser, main, parse_graph_spec
 from repro.graphs import path_graph, save_edge_list
 
@@ -31,6 +35,15 @@ class TestGraphSpecParsing:
             parse_graph_spec("nonsense:10")
         with pytest.raises(argparse.ArgumentTypeError):
             parse_graph_spec("just-a-word")
+
+    def test_non_positive_sizes_rejected_with_clear_error(self):
+        # Regression: `path:0` used to crash deep inside the generator.
+        with pytest.raises(argparse.ArgumentTypeError, match="positive integer"):
+            parse_graph_spec("path:0")
+        with pytest.raises(argparse.ArgumentTypeError, match="positive integer"):
+            parse_graph_spec("grid:-4")
+        with pytest.raises(argparse.ArgumentTypeError, match="not an integer"):
+            parse_graph_spec("path:8:one")
 
 
 class TestCommands:
@@ -77,3 +90,67 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_run_scenario_file(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        Scenario(graph="grid:16:1", scheme="lambda_ack",
+                 trace_level="summary").save(path)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "scheme: lambda_ack" in out
+        assert "acknowledgement round" in out
+        assert "COMPLETED" in out
+
+    def test_run_any_registered_scheme_from_config_alone(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        Scenario(graph="star:9:1", scheme="centralized",
+                 trace_level="summary").save(path)
+        assert main(["run", str(path), "--backend", "vectorized"]) == 0
+        assert "scheme: centralized" in capsys.readouterr().out
+
+    def test_run_scheme_override_and_json_output(self, capsys, tmp_path):
+        path = tmp_path / "scenario.json"
+        Scenario(graph="path:9", scheme="lambda",
+                 faults={"kind": "drop", "prob": 0.0, "seed": 1}).save(path)
+        assert main(["run", str(path), "--scheme", "round_robin",
+                     "--output", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["scheme"] == "round_robin"
+        assert rows[0]["family"] == "path"
+        assert rows[0]["fault"] == "drop:0:1"
+
+    def test_schemes_command_lists_registry(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lambda", "lambda_ack", "lambda_arb", "round_robin",
+                     "coloring_tdma", "collision_detection", "centralized"):
+            assert name in out
+
+
+class TestSweepOutputs:
+    def test_sweep_parallel_json_end_to_end(self, capsys):
+        assert main(["sweep", "--families", "path", "grid",
+                     "--sizes", "9", "--schemes", "lambda", "round_robin",
+                     "--jobs", "2", "--output", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+        assert {r["scheme"] for r in rows} == {"lambda", "round_robin"}
+        assert all(r["completion_round"] is not None for r in rows)
+
+    def test_sweep_csv_output(self, capsys):
+        assert main(["sweep", "--families", "path", "--sizes", "8",
+                     "--schemes", "lambda", "--output", "csv"]) == 0
+        out = capsys.readouterr().out
+        parsed = list(csv.DictReader(io.StringIO(out)))
+        assert len(parsed) == 1
+        assert parsed[0]["scheme"] == "lambda"
+        assert parsed[0]["fault"] == "none"
+
+    def test_sweep_fault_axis(self, capsys):
+        assert main(["sweep", "--families", "path", "--sizes", "12",
+                     "--schemes", "lambda", "--faults", "none", "drop:0.4:2",
+                     "--jobs", "2", "--output", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["fault"] for r in rows] == ["none", "drop:0.4:2"]

@@ -12,11 +12,32 @@ wrapper over :func:`repro.api.run_grid`.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, TypeVar
+from typing import Any, Dict, List, Optional, Sequence, TypeVar
 
-__all__ = ["default_jobs", "chunk_specs", "run_sweep_parallel"]
+__all__ = ["GridExecutionError", "default_jobs", "chunk_specs", "run_sweep_parallel"]
 
 _Spec = TypeVar("_Spec")
+
+
+class GridExecutionError(RuntimeError):
+    """One grid cell failed: the error names the failing scenario spec.
+
+    Work units cross the process-pool boundary as opaque chunks, so a bare
+    exception from a worker used to surface as a pool traceback with no hint
+    of *which* (scheme, graph, seed) cell died.  The grid layer wraps any
+    cell failure in this error, whose message and :attr:`spec` dict carry the
+    scheme name, graph family/size/seed, source and fault/clock tags.
+
+    The explicit ``__reduce__`` keeps both the message and the spec intact
+    when the exception is pickled back from a worker process.
+    """
+
+    def __init__(self, message: str, spec: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.spec: Dict[str, Any] = dict(spec or {})
+
+    def __reduce__(self):
+        return (type(self), (str(self.args[0]) if self.args else "", self.spec))
 
 
 def default_jobs() -> int:
@@ -43,6 +64,7 @@ def run_sweep_parallel(
     backend=None,
     trace_level: str = "summary",
     chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ):
     """Run a legacy sweep with instances fanned out over a process pool.
 
@@ -51,7 +73,8 @@ def run_sweep_parallel(
     without a pool.  ``backend`` may be a registry name or an instance of a
     registered backend class (reduced to its name, since only plain data
     crosses the process boundary); custom backend objects outside the
-    registry are rejected.
+    registry are rejected.  ``batch_size`` groups compatible work units into
+    one stacked kernel invocation each (see ``backend="batched"``).
     """
     from ..api.grid import GridConfig, run_grid
 
@@ -61,4 +84,5 @@ def run_sweep_parallel(
         trace_level=trace_level,
         jobs=default_jobs() if jobs is None else jobs,
         chunk_size=chunk_size,
+        batch_size=batch_size,
     )

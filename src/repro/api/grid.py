@@ -14,6 +14,13 @@ The legacy ``repro.analysis.sweep.run_sweep`` /
 ``repro.analysis.executor.run_sweep_parallel`` entry points are thin wrappers
 over this module: a grid with the default ``faults=(None,)`` /
 ``clocks=(None,)`` axes reproduces legacy sweep rows bit for bit.
+
+With ``batch_size`` set (or ``backend="batched"``), work units sharing a
+(scheme, fault spec, clock spec, trace level) compatibility key are grouped
+and dispatched through ``SimulationBackend.run_batch`` — on the batched
+backend that is one block-diagonal kernel invocation per group — with rows
+guaranteed identical to per-cell execution and independent of both the job
+count and the batch size.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ from .specs import (
     spec_label,
 )
 
-__all__ = ["GridConfig", "grid_cell_specs", "run_grid"]
+__all__ = ["DEFAULT_BATCH_SIZE", "GridConfig", "grid_cell_specs", "run_grid"]
 
 #: One grid cell: ``(family, size, rep, fault_spec, clock_spec)`` — all plain
 #: picklable data; workers rematerialize the graph and the channel models.
@@ -60,10 +67,21 @@ class GridConfig:
     faults: Sequence[FaultSpec] = (None,)
     clocks: Sequence[ClockSpec] = (None,)
     payload: Any = "MSG"
+    #: Work units per stacked kernel invocation when the grid runs batched
+    #: (``backend="batched"`` or an explicit ``run_grid(batch_size=...)``).
+    #: ``None`` leaves the engine default.
+    batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.faults = tuple(normalize_fault_spec(f) for f in self.faults) or (None,)
         self.clocks = tuple(normalize_clock_spec(c) for c in self.clocks) or (None,)
+        if self.batch_size is not None:
+            self.batch_size = int(self.batch_size)
+            if self.batch_size < 1:
+                raise ValueError(
+                    f"batch_size must be a positive integer or None, "
+                    f"got {self.batch_size}"
+                )
 
     @classmethod
     def from_sweep(cls, config: Any) -> "GridConfig":
@@ -83,6 +101,7 @@ class GridConfig:
             faults=tuple(getattr(config, "faults", (None,))),
             clocks=tuple(getattr(config, "clocks", (None,))),
             payload=getattr(config, "payload", "MSG"),
+            batch_size=getattr(config, "batch_size", None),
         )
 
 
@@ -124,6 +143,36 @@ def _group_cells_by_instance(
     return groups
 
 
+def _cell_error(
+    exc: BaseException, scheme_name: str, instance: Any, fault_spec: Any, clock_spec: Any
+):
+    """Wrap a cell failure so it names the failing scenario spec.
+
+    Workers ship whole chunks across the pool boundary; without this, a
+    failure surfaces as a bare traceback with no hint of which
+    (scheme, graph, seed) cell died.
+    """
+    from ..analysis.executor import GridExecutionError  # local: avoids cycle
+
+    fault_tag = spec_label(fault_spec, default="none")
+    clock_tag = spec_label(clock_spec, default="sync")
+    spec = {
+        "scheme": scheme_name,
+        "family": instance.family,
+        "n": instance.n,
+        "seed": instance.seed,
+        "source": instance.source,
+        "fault": fault_tag,
+        "clock": clock_tag,
+    }
+    return GridExecutionError(
+        f"grid cell failed: scheme={scheme_name!r} graph={instance.family}:"
+        f"{instance.n} seed={instance.seed} source={instance.source} "
+        f"fault={fault_tag!r} clock={clock_tag!r}: {type(exc).__name__}: {exc}",
+        spec,
+    )
+
+
 def _run_instance_cells(
     config: GridConfig,
     cells: Sequence[CellSpec],
@@ -150,26 +199,34 @@ def _run_instance_cells(
             scheme = get_scheme(scheme_name)
             options = scheme.grid_options(instance.graph, instance.source)
             if scheme_name not in labels_infos:
-                labels_infos[scheme_name] = scheme.build_labels(
-                    instance.graph, instance.source,
-                    _payload_text=str(config.payload), **options,
-                )
+                try:
+                    labels_infos[scheme_name] = scheme.build_labels(
+                        instance.graph, instance.source,
+                        _payload_text=str(config.payload), **options,
+                    )
+                except Exception as exc:
+                    raise _cell_error(exc, scheme_name, instance, fault_spec,
+                                      clock_spec) from exc
             # Fresh model objects per run: fault models memoise coin flips,
             # and a shared instance across schemes would make results depend
             # on execution order (and break jobs-independence).
             fault_model = fault_model_from_spec(fault_spec)
             clock_model = clock_model_from_spec(clock_spec, instance.graph.n)
-            outcome = scheme.run(
-                instance.graph,
-                instance.source,
-                payload=config.payload,
-                labels_info=labels_infos[scheme_name],
-                fault_model=fault_model,
-                clock_model=clock_model,
-                backend=backend,
-                trace_level=trace_level,
-                **options,
-            )
+            try:
+                outcome = scheme.run(
+                    instance.graph,
+                    instance.source,
+                    payload=config.payload,
+                    labels_info=labels_infos[scheme_name],
+                    fault_model=fault_model,
+                    clock_model=clock_model,
+                    backend=backend,
+                    trace_level=trace_level,
+                    **options,
+                )
+            except Exception as exc:
+                raise _cell_error(exc, scheme_name, instance, fault_spec,
+                                  clock_spec) from exc
             rows.append(
                 metrics_from_run(
                     instance.graph,
@@ -183,15 +240,162 @@ def _run_instance_cells(
     return rows
 
 
+#: Stacked-kernel batch size used when batching is requested without an
+#: explicit knob (``backend="batched"`` with no ``batch_size``).
+DEFAULT_BATCH_SIZE = 64
+
+
+def _run_cells_batched(
+    config: GridConfig,
+    cells: Sequence[CellSpec],
+    *,
+    backend: Any,
+    trace_level: str,
+    batch_size: int,
+) -> List[RunMetrics]:
+    """Run a span of grid cells with compatible work units batched together.
+
+    Work units (one scheme run on one fault/clock cell of one instance) are
+    grouped by (scheme, fault spec, clock spec) — the compatibility key under
+    which the batched backend can stack them — and dispatched ``batch_size``
+    at a time through ``run_batch``.  Rows come back in the same stable
+    order the per-cell path produces; the backend guarantees batched results
+    are bit-identical to per-task execution, so the grouping is invisible to
+    callers.  A failure is re-attributed to its single work unit (the batch
+    is replayed per task) and raised as a
+    :class:`~repro.analysis.executor.GridExecutionError` naming the spec.
+
+    Cells are processed in windows spanning ~``batch_size`` instances, so
+    peak memory stays O(batch_size) graphs/labelings — not O(all instances)
+    — while every (scheme, fault, clock) group inside a window still fills
+    whole batches.
+    """
+    from ..analysis.executor import chunk_specs  # local: avoids cycle
+
+    cells_per_instance = max(1, len(config.faults) * len(config.clocks))
+    window = batch_size * cells_per_instance
+    rows: List[RunMetrics] = []
+    for span in chunk_specs(cells, window):
+        rows.extend(
+            _run_cell_window_batched(config, span, backend=backend,
+                                     trace_level=trace_level, batch_size=batch_size)
+        )
+    return rows
+
+
+def _run_cell_window_batched(
+    config: GridConfig,
+    cells: Sequence[CellSpec],
+    *,
+    backend: Any,
+    trace_level: str,
+    batch_size: int,
+) -> List[RunMetrics]:
+    """One window of the batched path: materialize, group, stack, derive."""
+    from ..analysis.executor import GridExecutionError, chunk_specs
+    from ..analysis.sweep import materialize_instance  # local: avoids cycle
+    from ..backends import resolve_backend
+
+    backend_obj = resolve_backend(backend if backend is not None else "batched")
+
+    instances: Dict[Tuple[str, int, int], Any] = {}
+    units: List[Tuple[int, str, Tuple[str, int, int], Any, Any]] = []
+    for key, group in _group_cells_by_instance(cells):
+        if key not in instances:
+            instances[key] = materialize_instance(config, *key)
+        for cell in group:
+            for scheme_name in config.schemes:
+                units.append((len(units), scheme_name, key, cell[3], cell[4]))
+
+    labels_cache: Dict[Tuple[str, Tuple[str, int, int]], Any] = {}
+    groups: Dict[Tuple[str, str, str], List] = {}
+    for unit in units:
+        _, scheme_name, _, fault_spec, clock_spec = unit
+        groups.setdefault(
+            (scheme_name, repr(fault_spec), repr(clock_spec)), []
+        ).append(unit)
+
+    rows: List[Optional[RunMetrics]] = [None] * len(units)
+    for members in groups.values():
+        for batch in chunk_specs(members, batch_size):
+            tasks, metas = [], []
+            for unit in batch:
+                index, scheme_name, key, fault_spec, clock_spec = unit
+                instance = instances[key]
+                scheme = get_scheme(scheme_name)
+                try:
+                    scheme.validate_source(instance.graph, instance.source)
+                    options = scheme.grid_options(instance.graph, instance.source)
+                    cache_key = (scheme_name, key)
+                    if cache_key not in labels_cache:
+                        labels_cache[cache_key] = scheme.build_labels(
+                            instance.graph, instance.source,
+                            _payload_text=str(config.payload), **options,
+                        )
+                    info = labels_cache[cache_key]
+                    task = scheme.build_task(
+                        instance.graph, info, instance.source,
+                        payload=config.payload,
+                        max_rounds=scheme.default_budget(instance.graph, info),
+                        trace_level=trace_level,
+                        # Fresh model objects per unit: fault models memoise
+                        # coin flips, so sharing would couple units.
+                        fault_model=fault_model_from_spec(fault_spec),
+                        clock_model=clock_model_from_spec(clock_spec, instance.graph.n),
+                    )
+                except Exception as exc:
+                    raise _cell_error(exc, scheme_name, instance, fault_spec,
+                                      clock_spec) from exc
+                tasks.append(task)
+                metas.append(unit)
+            try:
+                results = backend_obj.run_batch(tasks)
+            except GridExecutionError:
+                raise
+            except Exception:
+                # Replay per task to attribute the failure to one cell spec.
+                results = []
+                for task, unit in zip(tasks, metas):
+                    _, scheme_name, key, fault_spec, clock_spec = unit
+                    try:
+                        results.append(backend_obj.run_batch([task])[0])
+                    except Exception as exc:
+                        raise _cell_error(exc, scheme_name, instances[key],
+                                          fault_spec, clock_spec) from exc
+            for task, result, unit in zip(tasks, results, metas):
+                index, scheme_name, key, fault_spec, clock_spec = unit
+                instance = instances[key]
+                scheme = get_scheme(scheme_name)
+                try:
+                    outcome = scheme.derive_outcome(
+                        instance.graph, task, result, labels_cache[(scheme_name, key)]
+                    )
+                except Exception as exc:
+                    raise _cell_error(exc, scheme_name, instance, fault_spec,
+                                      clock_spec) from exc
+                rows[index] = metrics_from_run(
+                    instance.graph,
+                    outcome,
+                    family=instance.family,
+                    source=instance.source,
+                    fault=spec_label(fault_spec, default="none"),
+                    clock=spec_label(clock_spec, default="sync"),
+                )
+    return rows  # type: ignore[return-value]
+
+
 #: One work unit: the grid config (as a dict), a list of cell specs and the
 #: execution knobs.  Everything inside is plain picklable data.
-_ChunkPayload = Tuple[dict, List[CellSpec], Optional[str], str]
+_ChunkPayload = Tuple[dict, List[CellSpec], Optional[str], str, Optional[int]]
 
 
 def _run_grid_chunk(payload: _ChunkPayload) -> List[RunMetrics]:
     """Worker entry point: rematerialize each cell and run every scheme."""
-    config_dict, chunk, backend, trace_level = payload
+    config_dict, chunk, backend, trace_level, batch_size = payload
     config = GridConfig(**config_dict)
+    if batch_size is not None:
+        return _run_cells_batched(config, chunk, backend=backend,
+                                  trace_level=trace_level, batch_size=batch_size)
     rows: List[RunMetrics] = []
     for _, group in _group_cells_by_instance(chunk):
         rows.extend(
@@ -207,6 +411,7 @@ def run_grid(
     trace_level: str = "summary",
     jobs: Optional[int] = 1,
     chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> List[RunMetrics]:
     """Run every configured scheme over every grid cell and return all rows.
 
@@ -224,15 +429,35 @@ def run_grid(
         count.  Rows come back in the same stable order for any job count.
     chunk_size:
         Cells per work unit; defaults to ~4 chunks per worker.
+    batch_size:
+        Compatible work units per stacked kernel invocation.  Setting it (or
+        ``config.batch_size``, or passing ``backend="batched"``, which
+        implies :data:`DEFAULT_BATCH_SIZE`) routes execution through the
+        batching path: work units sharing (scheme, fault, clock, trace
+        level) run as one block-diagonal kernel invocation on backends that
+        stack (results are guaranteed identical either way).  Must be
+        positive.
     """
     from ..analysis.executor import chunk_specs, default_jobs  # local: avoids cycle
 
     _validate_schemes(config)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if batch_size is None:
+        batch_size = config.batch_size
+    if batch_size is not None:
+        batch_size = int(batch_size)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+    backend_name = backend if isinstance(backend, str) else getattr(backend, "name", None)
+    if batch_size is None and backend_name == "batched":
+        batch_size = DEFAULT_BATCH_SIZE
     cells = grid_cell_specs(config)
     if not cells:
         return []
     if jobs == 1:
+        if batch_size is not None:
+            return _run_cells_batched(config, cells, backend=backend,
+                                      trace_level=trace_level, batch_size=batch_size)
         rows: List[RunMetrics] = []
         for _, group in _group_cells_by_instance(cells):
             rows.extend(
@@ -241,19 +466,24 @@ def run_grid(
             )
         return rows
     if backend is not None and not isinstance(backend, str):
-        name = getattr(backend, "name", None)
-        if name not in BACKEND_NAMES:
+        if backend_name not in BACKEND_NAMES:
             raise ValueError(
                 f"parallel sweeps need a registered backend name "
                 f"{sorted(BACKEND_NAMES)}, got instance {backend!r} with name "
-                f"{name!r}; run with jobs=1 to use a custom backend object"
+                f"{backend_name!r}; run with jobs=1 to use a custom backend object"
             )
-        backend = name
+        backend = backend_name
     if chunk_size is None:
         chunk_size = max(1, (len(cells) + jobs * 4 - 1) // (jobs * 4))
+        if batch_size is not None:
+            # A worker can only stack units within its own chunk: keep each
+            # chunk wide enough to span ~batch_size instances per group, or
+            # the pool's load-balancing default would silently cap batches.
+            cells_per_instance = max(1, len(config.faults) * len(config.clocks))
+            chunk_size = max(chunk_size, batch_size * cells_per_instance)
     chunks = chunk_specs(cells, chunk_size)
     payloads: List[_ChunkPayload] = [
-        (asdict(config), chunk, backend, trace_level) for chunk in chunks
+        (asdict(config), chunk, backend, trace_level, batch_size) for chunk in chunks
     ]
     if len(chunks) == 1:
         results = [_run_grid_chunk(p) for p in payloads]

@@ -664,6 +664,9 @@ class CollisionDetectionScheme(Scheme):
             )
 
         with_detection = info.extras["with_detection"]
+        # ``stop_rule`` is the declarative twin of ``stop_condition``: array
+        # backends (which have no node objects to inspect) implement it
+        # natively, while the reference engine keeps using the callable.
         return SimulationTask(
             protocol="collision_detection",
             graph=graph,
@@ -672,6 +675,7 @@ class CollisionDetectionScheme(Scheme):
             source=source,
             payload=str(payload),
             max_rounds=max_rounds,
+            stop_rule="all_decoded",
             stop_condition=all_decoded,
             trace_level=trace_level,
             collision_model=WithCollisionDetection() if with_detection else None,
@@ -688,10 +692,13 @@ class CollisionDetectionScheme(Scheme):
     def derive_outcome(self, graph, task, result, info):
         sim = result.simulation
         payload = task.payload
-        decoded_ok = all(
-            isinstance(node, BitSignalNode) and node.decoded == str(payload)
-            for node in sim.nodes
-        )
+        if "decoded_correctly" in result.derived:
+            decoded_ok = result.derived["decoded_correctly"]
+        else:
+            decoded_ok = all(
+                isinstance(node, BitSignalNode) and node.decoded == str(payload)
+                for node in sim.nodes
+            )
         completion = sim.stop_round if (sim.completed and decoded_ok) else None
         return Outcome(
             scheme=self.name,

@@ -8,8 +8,10 @@ Public surface::
     result = backend.run_task(task)
 
 ``resolve_backend`` accepts a backend name (``"reference"`` /
-``"vectorized"``), an existing backend instance, or ``None`` (the reference
-default), and returns a shared instance.
+``"vectorized"`` / ``"batched"``), an existing backend instance, or ``None``
+(the reference default), and returns a shared instance.  The batched backend
+additionally exposes ``run_batch(tasks)``, stacking many compatible tasks
+into one block-diagonal kernel invocation (see :mod:`repro.backends.batched`).
 """
 
 from __future__ import annotations
@@ -26,11 +28,13 @@ from .base import (
 )
 from .reference import ReferenceBackend
 from .vectorized import VectorizedBackend
+from .batched import BatchedVectorizedBackend
 
 __all__ = [
     "BACKEND_NAMES",
     "BackendError",
     "BackendResult",
+    "BatchedVectorizedBackend",
     "PROTOCOLS",
     "ReferenceBackend",
     "STOP_RULES",
@@ -43,6 +47,7 @@ __all__ = [
 _BACKEND_CLASSES = {
     ReferenceBackend.name: ReferenceBackend,
     VectorizedBackend.name: VectorizedBackend,
+    BatchedVectorizedBackend.name: BatchedVectorizedBackend,
 }
 
 #: Names accepted by :func:`resolve_backend` (and the CLI ``--backend`` flag).

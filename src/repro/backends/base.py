@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..graphs.graph import Graph
 from ..radio.clock import ClockModel
@@ -58,7 +58,7 @@ PROTOCOLS = (
 )
 
 #: Declarative stop rules every backend understands.
-STOP_RULES = ("all_informed", "acknowledged", "arb_complete")
+STOP_RULES = ("all_informed", "acknowledged", "arb_complete", "all_decoded")
 
 
 class BackendError(RuntimeError):
@@ -152,6 +152,16 @@ class SimulationBackend(ABC):
     @abstractmethod
     def run_task(self, task: SimulationTask) -> BackendResult:
         """Execute ``task`` and return the result."""
+
+    def run_batch(self, tasks: Sequence[SimulationTask]) -> List[BackendResult]:
+        """Execute several tasks and return their results in input order.
+
+        The default simply loops; backends that can amortise per-task
+        overhead (see :class:`~repro.backends.batched.BatchedVectorizedBackend`)
+        override this with a genuinely stacked execution.  Results must be
+        identical to per-task :meth:`run_task` calls.
+        """
+        return [self.run_task(task) for task in tasks]
 
     def supports(self, task: SimulationTask) -> bool:
         """True if this backend can execute ``task`` natively."""

@@ -1,0 +1,1013 @@
+"""Batched multi-instance vectorized backend: many tasks, one kernel loop.
+
+The paper's headline claims are statistical — broadcast-time bounds that hold
+across whole *families* of radio networks — so reproducing them means
+sweeping thousands of small instances.  At n ≤ 64 the per-round NumPy
+dispatch overhead of the single-instance :class:`~repro.backends.vectorized.
+VectorizedBackend` dominates its runtime; this module removes it by stacking
+the CSR adjacency blocks of many :class:`~repro.backends.base.SimulationTask`s
+into one **block-diagonal** structure and advancing all instances with a
+single set of array kernels per round:
+
+* the stacked graph has no cross-instance edges, so one
+  :class:`~repro.backends.vectorized._Channel` resolution over the union
+  adjacency resolves every instance's round at once;
+* protocol state lives in global arrays indexed by *stacked* node id; the
+  decision rules are the same element-wise masks as the single-instance
+  kernels, so outcomes stay **bit-for-bit identical** (asserted by
+  ``tests/test_batched_equivalence.py`` against both the vectorized and the
+  reference engines);
+* every instance keeps its own round counter bookkeeping (all instances start
+  at round 1 together; an instance that meets its stop rule or exhausts its
+  budget is masked out of the transmit vectors and stops recording — its
+  trace ends exactly where a solo run's would);
+* per-instance trace recording splits the round's sorted global id arrays at
+  the block offsets (one ``searchsorted`` per array), so each instance gets
+  the same :class:`~repro.radio.trace.ExecutionTrace` a solo run produces.
+
+Determinism needs no per-instance RNG plumbing: the compiled protocols are
+deterministic, and the only randomized channel semantics (fault models, which
+memoise per-(round, node) coin flips) are exactly the tasks the batched
+kernels do not cover — those fall back to per-task execution with their own
+model objects, keeping every instance's random stream independent of how the
+batch was composed.
+
+Tasks the stacked kernels do not cover (B_arb, custom node factories,
+non-default fault/clock models) are executed per task through the
+single-instance vectorized backend (which itself falls back to the reference
+engine where needed), so ``--backend batched`` is always safe to pass.
+Batches must be *homogeneous* in protocol and trace level; mixing either is a
+caller error and raises :class:`~repro.backends.base.BackendError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..baselines.collision_detection import (
+    LENGTH_HEADER_BITS,
+    SLOT_LENGTH,
+    decode_payload_bits,
+    encode_payload_bits,
+)
+from ..radio.engine import SimulationResult
+from ..radio.messages import (
+    Message,
+    ack_message,
+    source_message,
+    stay_message,
+)
+from ..radio.trace import TRACE_FULL, ExecutionTrace
+from .base import BackendError, BackendResult, SimulationBackend, SimulationTask
+from .vectorized import (
+    _EMPTY,
+    _K_ACK,
+    _K_SOURCE,
+    _K_STAY,
+    _NEVER,
+    VectorizedBackend,
+    _Channel,
+    _parse_bit_labels,
+    _parse_slot_labels,
+    _Recorder,
+    _stamp_bits,
+)
+
+__all__ = [
+    "BatchedVectorizedBackend",
+    "run_broadcast_batch",
+    "run_acknowledged_batch",
+    "run_slotted_batch",
+    "run_centralized_batch",
+    "run_collision_detection_batch",
+]
+
+
+# --------------------------------------------------------------------------- #
+# block-diagonal stacking
+# --------------------------------------------------------------------------- #
+class _BatchLayout:
+    """Stacked CSR blocks of a batch plus the id arithmetic around them.
+
+    Instance ``b``'s nodes occupy the contiguous stacked-id range
+    ``[offsets[b], offsets[b+1])``; because blocks never share edges, any
+    sorted array of stacked ids (transmitters, hearers, collisions, …) splits
+    into per-instance slices with one ``searchsorted`` against ``offsets``.
+    """
+
+    def __init__(self, tasks: Sequence[SimulationTask]) -> None:
+        self.tasks = list(tasks)
+        self.B = len(self.tasks)
+        self.ns = np.array([t.graph.n for t in self.tasks], dtype=np.int64)
+        self.offsets = np.zeros(self.B + 1, dtype=np.int64)
+        np.cumsum(self.ns, out=self.offsets[1:])
+        self.total = int(self.offsets[-1])
+        self.owner = np.repeat(np.arange(self.B, dtype=np.int64), self.ns)
+        indptr_parts = [np.zeros(1, dtype=np.int64)]
+        index_parts = []
+        edge_base = 0
+        for b, task in enumerate(self.tasks):
+            indptr, indices = task.graph.csr()
+            index_parts.append(indices.astype(np.int64) + self.offsets[b])
+            indptr_parts.append(indptr[1:].astype(np.int64) + edge_base)
+            edge_base += int(indices.size)
+        self.indptr = np.concatenate(indptr_parts)
+        self.indices = np.concatenate(index_parts) if index_parts else _EMPTY
+        self.sources = np.array(
+            [self.offsets[b] + int(t.source) for b, t in enumerate(self.tasks)],
+            dtype=np.int64,
+        )
+        self.max_rounds = np.array([t.max_rounds for t in self.tasks], dtype=np.int64)
+
+    def channel(self) -> _Channel:
+        return _Channel.from_arrays(self.indptr, self.indices, self.total)
+
+    def counts(self, ids: np.ndarray) -> np.ndarray:
+        """Per-instance element counts of an array of stacked node ids."""
+        return np.bincount(self.owner[ids], minlength=self.B)
+
+    def split_points(self, ids: np.ndarray) -> np.ndarray:
+        """Slice boundaries of a *sorted* stacked-id array at the block offsets."""
+        return np.searchsorted(ids, self.offsets)
+
+
+class _BatchRun:
+    """Per-instance activity / stop / trace bookkeeping shared by all kernels.
+
+    With no full-level task in the batch (``fast``), kernels skip per-round
+    per-instance recording entirely: they accumulate whole-run aggregates in
+    :class:`_SummaryAggregates` arrays and materialise every trace once at
+    the end via :meth:`ExecutionTrace.from_aggregates` — the recording cost
+    per round stays O(1) kernel calls instead of O(batch) Python calls,
+    which is where the per-instance dispatch overhead actually lives.
+    """
+
+    def __init__(self, lay: _BatchLayout) -> None:
+        self.lay = lay
+        self.fast = all(t.trace_level != TRACE_FULL for t in lay.tasks)
+        self.recs = (
+            None
+            if self.fast
+            else [_Recorder(t.graph.n, t.source, t.trace_level) for t in lay.tasks]
+        )
+        self.active = lay.max_rounds >= 1
+        self.stop_round = np.zeros(lay.B, dtype=np.int64)
+        self.stop_reason = ["budget"] * lay.B
+
+    def node_active(self) -> np.ndarray:
+        return self.active[self.lay.owner]
+
+    def finish_round(self, r: int, condition_met: np.ndarray) -> None:
+        """Close round ``r``: record stop rounds, retire satisfied/budget-out
+        instances.  ``condition_met`` flags instances whose stop rule held."""
+        self.stop_round[self.active] = r
+        met = self.active & condition_met
+        for b in np.flatnonzero(met):
+            self.stop_reason[b] = "condition"
+        self.active = self.active & ~met & (r < self.lay.max_rounds)
+
+    def results(
+        self,
+        derived: List[Dict[str, Any]],
+        traces: Optional[List[Any]] = None,
+    ) -> List[BackendResult]:
+        if traces is None:
+            traces = [rec.trace for rec in self.recs]
+        return [
+            BackendResult(
+                simulation=SimulationResult(
+                    trace=traces[b],
+                    nodes=[],
+                    stop_round=int(self.stop_round[b]),
+                    stop_reason=self.stop_reason[b],
+                ),
+                derived=derived[b],
+            )
+            for b in range(self.lay.B)
+        ]
+
+
+class _SummaryAggregates:
+    """Whole-run per-instance aggregates for the fast (summary/none) path.
+
+    Totals live in length-B arrays updated with one bincount per round;
+    per-node first-informed / first-ack / last-ack rounds live in stacked
+    arrays (0 = never; real rounds start at 1), exactly the state the
+    incremental trace recorder would have built.
+    """
+
+    def __init__(self, lay: _BatchLayout) -> None:
+        self.lay = lay
+        self.tx = np.zeros(lay.B, dtype=np.int64)
+        self.rx = np.zeros(lay.B, dtype=np.int64)
+        self.col = np.zeros(lay.B, dtype=np.int64)
+        self.fixed = np.zeros(lay.B, dtype=np.float64)
+        self.first_informed = np.zeros(lay.total, dtype=np.int64)
+        self.ack_first = np.zeros(lay.total, dtype=np.int64)
+        self.ack_last = np.zeros(lay.total, dtype=np.int64)
+
+    def add_channel(self, tx_ids, hears_ids, collision_ids) -> None:
+        self.tx += self.lay.counts(tx_ids)
+        self.rx += self.lay.counts(hears_ids)
+        self.col += self.lay.counts(collision_ids)
+
+    def mark_informed(self, ids: np.ndarray, r: int) -> None:
+        if ids.size:
+            unset = self.first_informed[ids] == 0
+            self.first_informed[ids[unset]] = r
+
+    def mark_acks(self, ids: np.ndarray, r: int) -> None:
+        if ids.size:
+            unset = self.ack_first[ids] == 0
+            self.ack_first[ids[unset]] = r
+            self.ack_last[ids] = r
+
+    def trace_for(
+        self,
+        b: int,
+        *,
+        num_rounds: int,
+        kind_hist: Dict[str, int],
+        fixed_bits: float,
+        payload_messages: int,
+    ):
+        task = self.lay.tasks[b]
+        lo, hi = self.lay.offsets[b], self.lay.offsets[b + 1]
+        informed_first: Dict[int, int] = {}
+        ack_first: Dict[int, int] = {}
+        ack_last: Dict[int, int] = {}
+        if task.trace_level != "none":
+            for v, first in enumerate(self.first_informed[lo:hi]):
+                if first:
+                    informed_first[v] = int(first)
+            for v, first in enumerate(self.ack_first[lo:hi]):
+                if first:
+                    ack_first[v] = int(first)
+                    ack_last[v] = int(self.ack_last[lo + v])
+        return ExecutionTrace.from_aggregates(
+            task.graph.n,
+            task.source,
+            level=task.trace_level,
+            num_rounds=int(num_rounds),
+            total_transmissions=int(self.tx[b]),
+            total_receptions=int(self.rx[b]),
+            total_collisions=int(self.col[b]),
+            kind_hist=kind_hist,
+            fixed_bits=int(round(fixed_bits)),
+            payload_messages=int(payload_messages),
+            informed_first=informed_first,
+            ack_first=ack_first,
+            ack_last=ack_last,
+        )
+
+
+def _stack_bit_labels(lay: _BatchLayout) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    x1 = np.zeros(lay.total, dtype=bool)
+    x2 = np.zeros(lay.total, dtype=bool)
+    x3 = np.zeros(lay.total, dtype=bool)
+    for b, task in enumerate(lay.tasks):
+        lo, hi = lay.offsets[b], lay.offsets[b + 1]
+        a1, a2, a3 = _parse_bit_labels(task.labels, task.graph.n)
+        x1[lo:hi], x2[lo:hi], x3[lo:hi] = a1, a2, a3
+    return x1, x2, x3
+
+
+def _stop_rule_mask(lay: _BatchLayout, rule: str) -> np.ndarray:
+    return np.array([t.stop_rule == rule for t in lay.tasks], dtype=bool)
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm B — plain broadcast, all instances per round
+# --------------------------------------------------------------------------- #
+def run_broadcast_batch(tasks: Sequence[SimulationTask]) -> List[BackendResult]:
+    lay = _BatchLayout(tasks)
+    run = _BatchRun(lay)
+    channel = lay.channel()
+    x1, x2, _ = _stack_bit_labels(lay)
+    stop_all = _stop_rule_mask(lay, "all_informed")
+
+    informed = np.zeros(lay.total, dtype=bool)
+    informed[lay.sources] = True
+    informed_count = np.ones(lay.B, dtype=np.int64)
+    informed_r = np.full(lay.total, _NEVER, dtype=np.int64)
+    sent_src_prev = np.zeros(lay.total, dtype=bool)
+    sent_src_prev2 = np.zeros(lay.total, dtype=bool)
+    heard_stay_prev = np.zeros(lay.total, dtype=bool)
+    completion: List[Optional[int]] = [None] * lay.B
+    agg = _SummaryAggregates(lay) if run.fast else None
+    src_tx_total = np.zeros(lay.B, dtype=np.int64)
+
+    r = 0
+    while run.active.any():
+        r += 1
+        node_active = run.node_active()
+
+        m3 = (informed_r == r - 2) & node_active
+        m4 = (informed_r == r - 1) & node_active
+        tx_source = (m3 & x1) | (
+            informed & ~m3 & ~m4 & sent_src_prev2 & heard_stay_prev & node_active
+        )
+        if r == 1:
+            tx_source[lay.sources[run.active]] = True
+        tx_stay = m4 & x2
+
+        tx_ids, hears_ids, senders, collision_ids = channel.resolve(tx_source | tx_stay)
+
+        heard_stay_now = np.zeros(lay.total, dtype=bool)
+        if hears_ids.size:
+            sender_is_stay = tx_stay[senders]
+            heard_stay_now[hears_ids[sender_is_stay]] = True
+            mu_hearers = hears_ids[~sender_is_stay]
+            new_ids = mu_hearers[~informed[mu_hearers]]
+            informed[new_ids] = True
+            informed_r[new_ids] = r
+            informed_count += lay.counts(new_ids)
+        else:
+            mu_hearers = _EMPTY
+
+        if run.fast:
+            agg.add_channel(tx_ids, hears_ids, collision_ids)
+            src_tx_total += lay.counts(tx_ids[tx_source[tx_ids]])
+            agg.mark_informed(mu_hearers, r)
+        else:
+            tx_pts = lay.split_points(tx_ids)
+            rx_pts = lay.split_points(hears_ids)
+            col_pts = lay.split_points(collision_ids)
+            mu_pts = lay.split_points(mu_hearers)
+            for b in np.flatnonzero(run.active):
+                rec, off = run.recs[b], lay.offsets[b]
+                b_tx = tx_ids[tx_pts[b] : tx_pts[b + 1]]
+                n_src_tx = int(np.count_nonzero(tx_source[b_tx]))
+                n_stay_tx = int(b_tx.size) - n_src_tx
+                if rec.full:
+                    src_msg = source_message(lay.tasks[b].payload)
+                    stay_msg = stay_message()
+                    transmissions = {
+                        int(u - off): (src_msg if tx_source[u] else stay_msg)
+                        for u in b_tx
+                    }
+                    receptions = {
+                        int(v - off): transmissions[int(u - off)]
+                        for v, u in zip(
+                            hears_ids[rx_pts[b] : rx_pts[b + 1]],
+                            senders[rx_pts[b] : rx_pts[b + 1]],
+                        )
+                    }
+                    rec.full_round(
+                        r, transmissions, receptions,
+                        collision_ids[col_pts[b] : col_pts[b + 1]] - off,
+                    )
+                else:
+                    rec.summary_round(
+                        r,
+                        transmissions=int(b_tx.size),
+                        receptions=int(rx_pts[b + 1] - rx_pts[b]),
+                        collisions=int(col_pts[b + 1] - col_pts[b]),
+                        kinds={"source": n_src_tx, "stay": n_stay_tx},
+                        fixed_bits=2 * n_stay_tx,
+                        payload_messages=n_src_tx,
+                        informed=mu_hearers[mu_pts[b] : mu_pts[b + 1]] - off,
+                        ack_hearers=(),
+                    )
+
+        sent_src_prev2, sent_src_prev = sent_src_prev, tx_source
+        heard_stay_prev = heard_stay_now
+        done = informed_count == lay.ns
+        for b in np.flatnonzero(run.active & done):
+            if completion[b] is None:
+                completion[b] = r
+        run.finish_round(r, stop_all & done)
+
+    derived = [{"completion_round": completion[b]} for b in range(lay.B)]
+    if run.fast:
+        traces = []
+        for b in range(lay.B):
+            n_src = int(src_tx_total[b])
+            n_stay = int(agg.tx[b]) - n_src
+            traces.append(
+                agg.trace_for(
+                    b,
+                    num_rounds=run.stop_round[b],
+                    kind_hist={"source": n_src, "stay": n_stay},
+                    fixed_bits=2 * n_stay,
+                    payload_messages=n_src,
+                )
+            )
+        return run.results(derived, traces)
+    return run.results(derived)
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm B_ack — acknowledged broadcast, all instances per round
+# --------------------------------------------------------------------------- #
+def run_acknowledged_batch(tasks: Sequence[SimulationTask]) -> List[BackendResult]:
+    lay = _BatchLayout(tasks)
+    run = _BatchRun(lay)
+    channel = lay.channel()
+    x1, x2, x3 = _stack_bit_labels(lay)
+    stop_ack = _stop_rule_mask(lay, "acknowledged")
+    stop_all = _stop_rule_mask(lay, "all_informed")
+    is_src = np.zeros(lay.total, dtype=bool)
+    is_src[lay.sources] = True
+    src_of = lay.sources[lay.owner]  # each node's own instance source
+
+    informed = np.zeros(lay.total, dtype=bool)
+    informed[lay.sources] = True
+    informed_count = np.ones(lay.B, dtype=np.int64)
+    informed_r = np.full(lay.total, _NEVER, dtype=np.int64)
+    informed_stamp = np.zeros(lay.total, dtype=np.int64)
+    sent_src_prev = np.zeros(lay.total, dtype=bool)
+    sent_src_prev2 = np.zeros(lay.total, dtype=bool)
+    heard_stay_prev = np.zeros(lay.total, dtype=bool)
+    heard_stay_stamp = np.zeros(lay.total, dtype=np.int64)
+    prev_acks: List[Tuple[int, int]] = []  # (stacked hearer id, heard stamp)
+    transmit_stamps: Dict[int, Set[int]] = {}  # keyed by stacked id: disjoint per instance
+
+    first_ack: List[Optional[int]] = [None] * lay.B
+    completion: List[Optional[int]] = [None] * lay.B
+    agg = _SummaryAggregates(lay) if run.fast else None
+    src_tx_total = np.zeros(lay.B, dtype=np.int64)
+    stay_tx_total = np.zeros(lay.B, dtype=np.int64)
+
+    r = 0
+    while run.active.any():
+        r += 1
+        node_active = run.node_active()
+        tx_kind = np.zeros(lay.total, dtype=np.int8)
+        tx_stamp = np.zeros(lay.total, dtype=np.int64)
+
+        if r == 1:
+            srcs = lay.sources[run.active]
+            tx_kind[srcs] = _K_SOURCE
+            tx_stamp[srcs] = 1
+        m3 = (informed_r == r - 2) & node_active
+        m4 = (informed_r == r - 1) & node_active
+        a3 = m3 & x1
+        if a3.any():
+            ids = np.flatnonzero(a3)
+            stamps = informed_stamp[ids] + 2
+            tx_kind[ids] = _K_SOURCE
+            tx_stamp[ids] = stamps
+            for v, s in zip(ids, stamps):
+                transmit_stamps.setdefault(int(v), set()).add(int(s))
+        a4_ack = m4 & x3
+        tx_kind[a4_ack] = _K_ACK
+        tx_stamp[a4_ack] = informed_stamp[a4_ack]
+        a4_stay = m4 & ~x3 & x2
+        tx_kind[a4_stay] = _K_STAY
+        tx_stamp[a4_stay] = informed_stamp[a4_stay] + 1
+        m5 = informed & ~m3 & ~m4 & heard_stay_prev & node_active
+        a5 = m5 & sent_src_prev2
+        if a5.any():
+            ids = np.flatnonzero(a5)
+            stamps = heard_stay_stamp[ids] + 1
+            tx_kind[ids] = _K_SOURCE
+            tx_stamp[ids] = stamps
+            for v, s in zip(ids, stamps):
+                if not is_src[v]:
+                    transmit_stamps.setdefault(int(v), set()).add(int(s))
+        for v, heard_stamp in prev_acks:
+            if is_src[v] or not informed[v] or not node_active[v]:
+                continue
+            ir = informed_r[v]
+            if ir == r - 2 or ir == r - 1 or heard_stay_prev[v] or tx_kind[v]:
+                continue
+            if heard_stamp in transmit_stamps.get(v, ()):
+                tx_kind[v] = _K_ACK
+                tx_stamp[v] = informed_stamp[v]
+
+        tx_ids, hears_ids, senders, collision_ids = channel.resolve(tx_kind > 0)
+
+        heard_stay_now = np.zeros(lay.total, dtype=bool)
+        heard_stay_stamp_now = np.zeros(lay.total, dtype=np.int64)
+        next_acks: List[Tuple[int, int]] = []
+        mu_hearers = _EMPTY
+        ack_hearers = _EMPTY
+        if hears_ids.size:
+            heard_kind = tx_kind[senders]
+            heard_stamp = tx_stamp[senders]
+            mu_sel = heard_kind == _K_SOURCE
+            mu_hearers = hears_ids[mu_sel]
+            new_sel = mu_sel & ~informed[hears_ids]
+            new_ids = hears_ids[new_sel]
+            informed[new_ids] = True
+            informed_r[new_ids] = r
+            informed_stamp[new_ids] = heard_stamp[new_sel]
+            informed_count += lay.counts(new_ids)
+            stay_sel = heard_kind == _K_STAY
+            heard_stay_now[hears_ids[stay_sel]] = True
+            heard_stay_stamp_now[hears_ids[stay_sel]] = heard_stamp[stay_sel]
+            ack_sel = heard_kind == _K_ACK
+            ack_hearers = hears_ids[ack_sel]
+            next_acks = [
+                (int(v), int(s)) for v, s in zip(ack_hearers, heard_stamp[ack_sel])
+            ]
+            for v in ack_hearers[ack_hearers == src_of[ack_hearers]]:
+                b = int(lay.owner[v])
+                if first_ack[b] is None:
+                    first_ack[b] = r
+
+        if run.fast:
+            agg.add_channel(tx_ids, hears_ids, collision_ids)
+            kinds_tx = tx_kind[tx_ids]
+            src_tx_total += lay.counts(tx_ids[kinds_tx == _K_SOURCE])
+            stay_tx_total += lay.counts(tx_ids[kinds_tx == _K_STAY])
+            if tx_ids.size:
+                agg.fixed += np.bincount(
+                    lay.owner[tx_ids],
+                    weights=_stamp_bits(tx_stamp[tx_ids]),
+                    minlength=lay.B,
+                )
+            agg.mark_informed(mu_hearers, r)
+            agg.mark_acks(ack_hearers, r)
+        else:
+            tx_pts = lay.split_points(tx_ids)
+            rx_pts = lay.split_points(hears_ids)
+            col_pts = lay.split_points(collision_ids)
+            mu_pts = lay.split_points(mu_hearers)
+            ack_pts = lay.split_points(ack_hearers)
+            for b in np.flatnonzero(run.active):
+                rec, off = run.recs[b], lay.offsets[b]
+                b_tx = tx_ids[tx_pts[b] : tx_pts[b + 1]]
+                if rec.full:
+                    transmissions: Dict[int, Message] = {}
+                    for u in b_tx:
+                        u = int(u)
+                        stamp = int(tx_stamp[u])
+                        if tx_kind[u] == _K_SOURCE:
+                            msg = source_message(lay.tasks[b].payload, round_stamp=stamp)
+                        elif tx_kind[u] == _K_STAY:
+                            msg = stay_message(round_stamp=stamp)
+                        else:
+                            msg = ack_message(stamp)
+                        transmissions[u - int(off)] = msg
+                    receptions = {
+                        int(v - off): transmissions[int(u - off)]
+                        for v, u in zip(
+                            hears_ids[rx_pts[b] : rx_pts[b + 1]],
+                            senders[rx_pts[b] : rx_pts[b + 1]],
+                        )
+                    }
+                    rec.full_round(
+                        r, transmissions, receptions,
+                        collision_ids[col_pts[b] : col_pts[b + 1]] - off,
+                    )
+                else:
+                    kinds_tx = tx_kind[b_tx]
+                    stamps = tx_stamp[b_tx]
+                    n_src_tx = int(np.count_nonzero(kinds_tx == _K_SOURCE))
+                    n_stay_tx = int(np.count_nonzero(kinds_tx == _K_STAY))
+                    n_ack_tx = int(b_tx.size) - n_src_tx - n_stay_tx
+                    fixed = int(_stamp_bits(stamps).sum()) + 2 * (n_stay_tx + n_ack_tx)
+                    rec.summary_round(
+                        r,
+                        transmissions=int(b_tx.size),
+                        receptions=int(rx_pts[b + 1] - rx_pts[b]),
+                        collisions=int(col_pts[b + 1] - col_pts[b]),
+                        kinds={"source": n_src_tx, "stay": n_stay_tx, "ack": n_ack_tx},
+                        fixed_bits=fixed,
+                        payload_messages=n_src_tx,
+                        informed=mu_hearers[mu_pts[b] : mu_pts[b + 1]] - off,
+                        ack_hearers=ack_hearers[ack_pts[b] : ack_pts[b + 1]] - off,
+                    )
+
+        sent_src_prev2, sent_src_prev = sent_src_prev, tx_kind == _K_SOURCE
+        heard_stay_prev = heard_stay_now
+        heard_stay_stamp = heard_stay_stamp_now
+        prev_acks = next_acks
+        done = informed_count == lay.ns
+        for b in np.flatnonzero(run.active & done):
+            if completion[b] is None:
+                completion[b] = r
+        acked = np.array([fa is not None for fa in first_ack], dtype=bool)
+        run.finish_round(r, (stop_ack & acked) | (stop_all & done))
+
+    derived = [
+        {"completion_round": completion[b], "acknowledgement_round": first_ack[b]}
+        for b in range(lay.B)
+    ]
+    if run.fast:
+        traces = []
+        for b in range(lay.B):
+            n_src = int(src_tx_total[b])
+            n_stay = int(stay_tx_total[b])
+            n_ack = int(agg.tx[b]) - n_src - n_stay
+            traces.append(
+                agg.trace_for(
+                    b,
+                    num_rounds=run.stop_round[b],
+                    kind_hist={"source": n_src, "stay": n_stay, "ack": n_ack},
+                    fixed_bits=agg.fixed[b] + 2 * (n_stay + n_ack),
+                    payload_messages=n_src,
+                )
+            )
+        return run.results(derived, traces)
+    return run.results(derived)
+
+
+# --------------------------------------------------------------------------- #
+# Source-flood baselines: shared stacked loop
+# --------------------------------------------------------------------------- #
+def _run_flood_batch(tasks, make_tx_mask) -> List[BackendResult]:
+    """Stacked version of the single-instance source-flood loop.
+
+    ``make_tx_mask(lay)`` compiles the batch's per-round transmit rule into a
+    callable ``tx(r, informed, active) -> bool mask`` over stacked node ids.
+    """
+    lay = _BatchLayout(tasks)
+    run = _BatchRun(lay)
+    channel = lay.channel()
+    tx_mask_for_round = make_tx_mask(lay)
+    stop_all = _stop_rule_mask(lay, "all_informed")
+
+    informed = np.zeros(lay.total, dtype=bool)
+    informed[lay.sources] = True
+    informed_count = np.ones(lay.B, dtype=np.int64)
+    completion: List[Optional[int]] = [None] * lay.B
+    agg = _SummaryAggregates(lay) if run.fast else None
+
+    r = 0
+    while run.active.any():
+        r += 1
+        tx_mask = tx_mask_for_round(r, informed, run.active) & run.node_active()
+        tx_ids, hears_ids, senders, collision_ids = channel.resolve(tx_mask)
+        if hears_ids.size:
+            new_ids = hears_ids[~informed[hears_ids]]
+            informed[new_ids] = True
+            informed_count += lay.counts(new_ids)
+
+        if run.fast:
+            agg.add_channel(tx_ids, hears_ids, collision_ids)
+            agg.mark_informed(hears_ids, r)
+        else:
+            tx_pts = lay.split_points(tx_ids)
+            rx_pts = lay.split_points(hears_ids)
+            col_pts = lay.split_points(collision_ids)
+            for b in np.flatnonzero(run.active):
+                rec, off = run.recs[b], lay.offsets[b]
+                n_tx = int(tx_pts[b + 1] - tx_pts[b])
+                b_rx = hears_ids[rx_pts[b] : rx_pts[b + 1]]
+                if rec.full:
+                    msg = source_message(lay.tasks[b].payload)
+                    transmissions = {
+                        int(u - off): msg for u in tx_ids[tx_pts[b] : tx_pts[b + 1]]
+                    }
+                    receptions = {int(v - off): msg for v in b_rx}
+                    rec.full_round(
+                        r, transmissions, receptions,
+                        collision_ids[col_pts[b] : col_pts[b + 1]] - off,
+                    )
+                else:
+                    rec.summary_round(
+                        r,
+                        transmissions=n_tx,
+                        receptions=int(b_rx.size),
+                        collisions=int(col_pts[b + 1] - col_pts[b]),
+                        kinds={"source": n_tx},
+                        fixed_bits=0,
+                        payload_messages=n_tx,
+                        informed=b_rx - off,
+                        ack_hearers=(),
+                    )
+
+        done = informed_count == lay.ns
+        for b in np.flatnonzero(run.active & done):
+            if completion[b] is None:
+                completion[b] = r
+        run.finish_round(r, stop_all & done)
+
+    derived = [{"completion_round": completion[b]} for b in range(lay.B)]
+    if run.fast:
+        traces = [
+            agg.trace_for(
+                b,
+                num_rounds=run.stop_round[b],
+                kind_hist={"source": int(agg.tx[b])},
+                fixed_bits=0,
+                payload_messages=int(agg.tx[b]),
+            )
+            for b in range(lay.B)
+        ]
+        return run.results(derived, traces)
+    return run.results(derived)
+
+
+def run_slotted_batch(tasks: Sequence[SimulationTask]) -> List[BackendResult]:
+    """Round-robin / G²-colouring TDMA over stacked instances."""
+
+    def make(lay: _BatchLayout):
+        slots = np.zeros(lay.total, dtype=np.int64)
+        periods = np.ones(lay.total, dtype=np.int64)
+        for b, task in enumerate(lay.tasks):
+            lo, hi = lay.offsets[b], lay.offsets[b + 1]
+            s, p = _parse_slot_labels(task.labels, task.graph.n)
+            slots[lo:hi], periods[lo:hi] = s, p
+        slot_residue = slots % periods
+
+        def tx(r: int, informed: np.ndarray, active: np.ndarray) -> np.ndarray:
+            return informed & ((r % periods) == slot_residue)
+
+        return tx
+
+    return _run_flood_batch(tasks, make)
+
+
+def run_centralized_batch(tasks: Sequence[SimulationTask]) -> List[BackendResult]:
+    """Centralized precomputed schedules over stacked instances."""
+
+    def make(lay: _BatchLayout):
+        schedules = [
+            [
+                np.asarray(round_ids, dtype=np.int64) + lay.offsets[b]
+                for round_ids in task.extras.get("schedule", ())
+            ]
+            for b, task in enumerate(lay.tasks)
+        ]
+
+        def tx(r: int, informed: np.ndarray, active: np.ndarray) -> np.ndarray:
+            mask = np.zeros(lay.total, dtype=bool)
+            for b in np.flatnonzero(active):
+                schedule = schedules[b]
+                if r <= len(schedule):
+                    mask[schedule[r - 1]] = True
+            return mask & informed
+
+        return tx
+
+    return _run_flood_batch(tasks, make)
+
+
+# --------------------------------------------------------------------------- #
+# Collision-detection bit signalling — the OR-channel relay as array kernels
+# --------------------------------------------------------------------------- #
+def run_collision_detection_batch(tasks: Sequence[SimulationTask]) -> List[BackendResult]:
+    """Anonymous bit-signalling broadcast, all instances per round.
+
+    Mirrors :class:`~repro.baselines.collision_detection.BitSignalNode` branch
+    for branch: the source emits symbol ``k`` in round ``3k + 1``; a node's
+    first perceived energy (a message, or a collision under the detection
+    channel) fixes its slot alignment; from then on it appends one symbol per
+    slot (energy = 1, silence = 0) and relays symbol ``k`` one round after
+    its listening round.  Payload decoding — the only non-array step — runs
+    once per node, when its stream first spans the length header plus the
+    advertised data bits.
+    """
+    lay = _BatchLayout(tasks)
+    run = _BatchRun(lay)
+    channel = lay.channel()
+    stop_decoded = _stop_rule_mask(lay, "all_decoded")
+    payload_strs = [str(t.payload) for t in lay.tasks]
+    detection = np.array(
+        [getattr(t.collision_model, "provides_detection", False) for t in lay.tasks],
+        dtype=bool,
+    )
+    det_node = detection[lay.owner]
+    is_src = np.zeros(lay.total, dtype=bool)
+    is_src[lay.sources] = True
+
+    # Source symbol streams: [preamble 1] + header + data, one per instance.
+    streams = [
+        np.array([1] + encode_payload_bits(p), dtype=np.int8) for p in payload_strs
+    ]
+    sym_len = np.array([s.size for s in streams], dtype=np.int64)
+    s_max = int(sym_len.max())
+    sym_arr = np.zeros((lay.B, s_max), dtype=np.int8)
+    for b, stream in enumerate(streams):
+        sym_arr[b, : stream.size] = stream
+
+    # Received symbol streams.  A corrupted header can advertise more data
+    # bits than the true stream carries, but a node can never append more
+    # than one symbol per slot, so the budget bounds the stream length.
+    cap = int(lay.max_rounds.max()) // SLOT_LENGTH + 2 if lay.B else 2
+    recv = np.zeros((lay.total, cap), dtype=np.int8)
+    recv_len = np.zeros(lay.total, dtype=np.int64)
+    start_r = np.full(lay.total, -1, dtype=np.int64)
+    decoded = np.zeros(lay.total, dtype=bool)
+    decoded[lay.sources] = True
+    matches = np.zeros(lay.total, dtype=bool)
+    matches[lay.sources] = True  # the source holds µ verbatim
+    attempted = np.zeros(lay.total, dtype=bool)
+    need_len = np.full(lay.total, -1, dtype=np.int64)
+    decoded_count = np.ones(lay.B, dtype=np.int64)
+    pow_header = (1 << np.arange(LENGTH_HEADER_BITS - 1, -1, -1)).astype(np.int64)
+    agg = _SummaryAggregates(lay) if run.fast else None
+
+    r = 0
+    while run.active.any():
+        r += 1
+        node_active = run.node_active()
+        tx_mask = np.zeros(lay.total, dtype=bool)
+
+        # Sources: all slots are globally aligned (every instance starts at
+        # round 1), so one (k, offset) pair covers every source.
+        k_src, off_src = divmod(r - 1, SLOT_LENGTH)
+        if off_src == 0 and k_src < s_max:
+            emit = run.active & (k_src < sym_len) & (sym_arr[:, k_src] == 1)
+            tx_mask[lay.sources[emit]] = True
+        # Relays: echo symbol k one round after the listening round for it.
+        started_ids = np.flatnonzero((start_r >= 0) & node_active)
+        if started_ids.size:
+            delta = r - start_r[started_ids]
+            k = delta // SLOT_LENGTH
+            relay = (delta % SLOT_LENGTH == 1) & (k < recv_len[started_ids])
+            rel_ids = started_ids[relay]
+            if rel_ids.size:
+                bits = recv[rel_ids, k[relay]]
+                tx_mask[rel_ids[bits == 1]] = True
+
+        tx_ids, hears_ids, senders, collision_ids = channel.resolve(tx_mask)
+
+        # Perceived energy: a heard message always; a collision only under
+        # the detection channel.
+        energy = np.zeros(lay.total, dtype=bool)
+        energy[hears_ids] = True
+        if collision_ids.size:
+            energy[collision_ids[det_node[collision_ids]]] = True
+        listeners = ~is_src & node_active & ~tx_mask
+
+        new_start = listeners & energy & (start_r < 0)
+        ns_ids = np.flatnonzero(new_start)
+        if ns_ids.size:
+            start_r[ns_ids] = r
+            recv[ns_ids, 0] = 1
+            recv_len[ns_ids] = 1
+
+        appenders = np.flatnonzero(listeners & (start_r >= 0) & ~new_start)
+        if appenders.size:
+            delta = r - start_r[appenders]
+            k = delta // SLOT_LENGTH
+            sel = (delta % SLOT_LENGTH == 0) & (k == recv_len[appenders])
+            aids = appenders[sel]
+            if aids.size:
+                recv[aids, k[sel]] = energy[aids].astype(np.int8)
+                recv_len[aids] += 1
+                data_bits = recv_len[aids] - 1  # the preamble is not data
+                hdr_ids = aids[
+                    (need_len[aids] < 0) & (data_bits >= LENGTH_HEADER_BITS)
+                ]
+                if hdr_ids.size:
+                    need_len[hdr_ids] = LENGTH_HEADER_BITS + (
+                        recv[hdr_ids, 1 : 1 + LENGTH_HEADER_BITS].astype(np.int64)
+                        @ pow_header
+                    )
+                complete = aids[
+                    ~attempted[aids]
+                    & (need_len[aids] >= 0)
+                    & (data_bits >= need_len[aids])
+                ]
+                for v in complete:
+                    v = int(v)
+                    attempted[v] = True  # decode is a pure function of the
+                    # now-fixed stream prefix: one attempt settles it forever
+                    text = decode_payload_bits(
+                        [int(bit) for bit in recv[v, 1 : recv_len[v]]]
+                    )
+                    if text is not None:
+                        decoded[v] = True
+                        b = int(lay.owner[v])
+                        decoded_count[b] += 1
+                        matches[v] = text == payload_strs[b]
+
+        if run.fast:
+            agg.add_channel(tx_ids, hears_ids, collision_ids)
+            agg.mark_informed(hears_ids, r)
+        else:
+            tx_pts = lay.split_points(tx_ids)
+            rx_pts = lay.split_points(hears_ids)
+            col_pts = lay.split_points(collision_ids)
+            for b in np.flatnonzero(run.active):
+                rec, off = run.recs[b], lay.offsets[b]
+                n_tx = int(tx_pts[b + 1] - tx_pts[b])
+                b_rx = hears_ids[rx_pts[b] : rx_pts[b + 1]]
+                if rec.full:
+                    msg = source_message("1")
+                    transmissions = {
+                        int(u - off): msg for u in tx_ids[tx_pts[b] : tx_pts[b + 1]]
+                    }
+                    receptions = {int(v - off): msg for v in b_rx}
+                    rec.full_round(
+                        r, transmissions, receptions,
+                        collision_ids[col_pts[b] : col_pts[b + 1]] - off,
+                    )
+                else:
+                    rec.summary_round(
+                        r,
+                        transmissions=n_tx,
+                        receptions=int(b_rx.size),
+                        collisions=int(col_pts[b + 1] - col_pts[b]),
+                        kinds={"source": n_tx},
+                        fixed_bits=0,
+                        payload_messages=n_tx,
+                        informed=b_rx - off,
+                        ack_hearers=(),
+                    )
+
+        run.finish_round(r, stop_decoded & (decoded_count == lay.ns))
+
+    derived = []
+    for b in range(lay.B):
+        lo, hi = lay.offsets[b], lay.offsets[b + 1]
+        derived.append(
+            {
+                "all_decoded": bool(decoded[lo:hi].all()),
+                "decoded_correctly": bool(matches[lo:hi].all()),
+            }
+        )
+    if run.fast:
+        traces = [
+            agg.trace_for(
+                b,
+                num_rounds=run.stop_round[b],
+                kind_hist={"source": int(agg.tx[b])},
+                fixed_bits=0,
+                payload_messages=int(agg.tx[b]),
+            )
+            for b in range(lay.B)
+        ]
+        return run.results(derived, traces)
+    return run.results(derived)
+
+
+# --------------------------------------------------------------------------- #
+# the backend
+# --------------------------------------------------------------------------- #
+_BATCH_KERNELS = {
+    "broadcast": run_broadcast_batch,
+    "acknowledged": run_acknowledged_batch,
+    "round_robin": run_slotted_batch,
+    "coloring_tdma": run_slotted_batch,
+    "centralized": run_centralized_batch,
+    "collision_detection": run_collision_detection_batch,
+}
+
+
+class BatchedVectorizedBackend(SimulationBackend):
+    """Stacked-CSR NumPy kernels advancing many instances per round.
+
+    Parameters
+    ----------
+    strict:
+        If true, :meth:`run_batch` raises :class:`BackendError` on tasks the
+        stacked kernels cannot execute instead of silently running them per
+        task through the single-instance vectorized backend.
+    """
+
+    name = "batched"
+
+    def __init__(self, *, strict: bool = False) -> None:
+        self.strict = strict
+        self._fallback = VectorizedBackend()
+
+    def supports(self, task: SimulationTask) -> bool:
+        """True if a stacked kernel covers ``task`` (same model envelope as
+        the single-instance vectorized backend)."""
+        return task.protocol in _BATCH_KERNELS and self._fallback.supports(task)
+
+    def run_task(self, task: SimulationTask) -> BackendResult:
+        return self.run_batch([task])[0]
+
+    def run_batch(self, tasks: Sequence[SimulationTask]) -> List[BackendResult]:
+        """Execute a homogeneous batch, stacked where possible.
+
+        All tasks must share one protocol and one trace level (mixing either
+        is a grouping bug in the caller and raises).  Tasks outside the
+        stacked kernels' envelope — B_arb, non-default fault/clock/collision
+        models — run per task through the vectorized backend, which itself
+        falls back to the reference engine where needed, so results are
+        always exactly what per-task execution would have produced.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        protocols = sorted({t.protocol for t in tasks})
+        if len(protocols) > 1:
+            raise BackendError(
+                f"cannot batch tasks with mixed protocols {protocols}; "
+                f"group tasks by protocol before batching"
+            )
+        levels = sorted({t.trace_level for t in tasks})
+        if len(levels) > 1:
+            raise BackendError(
+                f"cannot batch tasks with mixed trace levels {levels}; "
+                f"group tasks by trace level before batching"
+            )
+        stacked = [i for i, t in enumerate(tasks) if self.supports(t)]
+        stacked_set = set(stacked)
+        fallback = [i for i in range(len(tasks)) if i not in stacked_set]
+        if fallback and self.strict:
+            task = tasks[fallback[0]]
+            raise BackendError(
+                f"batched backend has no stacked kernel for protocol "
+                f"{task.protocol!r} with the given channel models"
+            )
+        results: List[Optional[BackendResult]] = [None] * len(tasks)
+        if stacked:
+            for i, out in zip(
+                stacked, _BATCH_KERNELS[protocols[0]]([tasks[i] for i in stacked])
+            ):
+                results[i] = out
+        for i in fallback:
+            results[i] = self._fallback.run_task(tasks[i])
+        return results

@@ -25,10 +25,11 @@ touch per round.  With ``trace_level="summary"``/``"none"`` the hot loop
 allocates only small per-round work arrays proportional to the number of
 transmitters, never to ``n × rounds``.
 
-Tasks the kernels do not cover (custom node factories, fault/clock/collision
-models other than the paper's defaults, the collision-detection baseline) are
-delegated to the reference backend, so ``--backend vectorized`` is always
-safe to pass.
+The collision-detection bit-signalling baseline is compiled too — its kernel
+natively implements the detection channel (energy = message or collision) and
+the slot-aligned symbol relay.  Tasks the kernels do not cover (custom node
+factories, fault/clock models other than the paper's defaults) are delegated
+to the reference backend, so ``--backend vectorized`` is always safe to pass.
 """
 
 from __future__ import annotations
@@ -38,7 +39,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from ..radio.clock import SynchronizedClocks
-from ..radio.collision import NoCollisionDetection
+from ..radio.collision import NoCollisionDetection, WithCollisionDetection
 from ..radio.engine import SimulationResult
 from ..radio.faults import NoFaults
 from ..radio.messages import (
@@ -131,6 +132,16 @@ class _Channel:
     def __init__(self, graph) -> None:
         self.n = graph.n
         self.indptr, self.indices = graph.csr()
+
+    @classmethod
+    def from_arrays(cls, indptr: np.ndarray, indices: np.ndarray, n: int) -> "_Channel":
+        """Build a channel over prestacked CSR arrays (the batched engine's
+        block-diagonal adjacency) without materialising a Graph."""
+        channel = cls.__new__(cls)
+        channel.n = n
+        channel.indptr = indptr
+        channel.indices = indices
+        return channel
 
     def resolve(
         self, tx_mask: np.ndarray
@@ -825,6 +836,19 @@ def _run_slotted_kernel(task: SimulationTask) -> BackendResult:
     return _run_source_flood(task, tx_mask)
 
 
+def _run_collision_detection_kernel(task: SimulationTask) -> BackendResult:
+    """Anonymous bit-signalling broadcast as an array kernel.
+
+    The kernel lives in the batched engine (it is the batch-of-one view of
+    :func:`repro.backends.batched.run_collision_detection_batch`); the lazy
+    import avoids a module cycle (batched builds on this module's channel and
+    recorder plumbing).
+    """
+    from .batched import run_collision_detection_batch
+
+    return run_collision_detection_batch([task])[0]
+
+
 def _run_centralized_kernel(task: SimulationTask) -> BackendResult:
     """Centralized schedule: round ``r``'s precomputed transmitter set, once informed.
 
@@ -873,6 +897,7 @@ class VectorizedBackend(SimulationBackend):
         "round_robin": _run_slotted_kernel,
         "coloring_tdma": _run_slotted_kernel,
         "centralized": _run_centralized_kernel,
+        "collision_detection": _run_collision_detection_kernel,
     }
 
     def __init__(self, *, strict: bool = False) -> None:
@@ -890,7 +915,14 @@ class VectorizedBackend(SimulationBackend):
             # executed through its node objects.
             return False
         if task.collision_model is not None and type(task.collision_model) is not NoCollisionDetection:
-            return False
+            # The bit-signalling kernel natively implements the detection
+            # channel (energy = message or collision); everything else is
+            # compiled for the paper's default model only.
+            if not (
+                task.protocol == "collision_detection"
+                and type(task.collision_model) is WithCollisionDetection
+            ):
+                return False
         if task.fault_model is not None and type(task.fault_model) is not NoFaults:
             return False
         if task.clock_model is not None and type(task.clock_model) is not SynchronizedClocks:

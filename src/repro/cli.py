@@ -87,6 +87,19 @@ def _parse_clock_arg(text: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _parse_batch_size(text: str) -> int:
+    """Argparse type for ``--batch-size``: a positive integer, checked up front."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"batch size must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -144,11 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--clocks", nargs="+", type=_parse_clock_arg, default=["sync"],
                        help="clock-model axis, e.g. sync offset:3 random_offsets:50:9")
     sweep.add_argument("--payload", default="MSG")
-    sweep.add_argument("--backend", choices=list(BACKEND_NAMES), default="reference",
-                       help="simulation engine (vectorized = NumPy CSR kernels)")
+    sweep.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                       help="simulation engine (vectorized = NumPy CSR kernels; "
+                            "batched = stacked multi-instance kernels); defaults "
+                            "to reference, or to batched when --batch-size is set")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (results are "
                             "deterministic and independent of the job count)")
+    sweep.add_argument("--batch-size", type=_parse_batch_size, default=None,
+                       help="stack this many compatible runs into one kernel "
+                            "invocation (implies the batching path; "
+                            "--backend batched batches by default)")
     sweep.add_argument("--trace-level", choices=["none", "summary", "full"],
                        default="summary",
                        help="trace recording level for each simulation")
@@ -254,6 +273,16 @@ def _cmd_figure1(args) -> int:
     return 0
 
 
+def sweep_backend(backend: Optional[str], batch_size: Optional[int]) -> str:
+    """The sweep's effective backend: explicit choice wins; ``--batch-size``
+    alone selects the batched engine (a reference-backend batch would stack
+    nothing, silently contradicting the flag); otherwise the reference
+    default."""
+    if backend is not None:
+        return backend
+    return "batched" if batch_size is not None else "reference"
+
+
 def _cmd_sweep(args) -> int:
     cfg = GridConfig(
         families=args.families,
@@ -266,8 +295,9 @@ def _cmd_sweep(args) -> int:
         clocks=args.clocks,
         payload=args.payload,
     )
-    rows = run_grid(cfg, backend=args.backend, jobs=args.jobs,
-                    trace_level=args.trace_level)
+    rows = run_grid(cfg, backend=sweep_backend(args.backend, args.batch_size),
+                    jobs=args.jobs, trace_level=args.trace_level,
+                    batch_size=args.batch_size)
     if args.output == "json":
         print(metrics_to_json(rows))
     elif args.output == "csv":

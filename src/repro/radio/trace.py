@@ -276,6 +276,62 @@ class ExecutionTrace:
         if self._completion_round is None and self.source is not None and not self._pending:
             self._completion_round = round_number
 
+    @classmethod
+    def from_aggregates(
+        cls,
+        num_nodes: int,
+        source: Optional[int],
+        *,
+        level: str,
+        num_rounds: int,
+        total_transmissions: int = 0,
+        total_receptions: int = 0,
+        total_collisions: int = 0,
+        kind_hist: Optional[Mapping[str, int]] = None,
+        fixed_bits: int = 0,
+        payload_messages: int = 0,
+        informed_first: Optional[Mapping[int, int]] = None,
+        ack_first: Optional[Mapping[int, int]] = None,
+        ack_last: Optional[Mapping[int, int]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> "ExecutionTrace":
+        """Materialise a summary/none-level trace from whole-run aggregates.
+
+        The batched backend advances many instances per kernel round and
+        accumulates each instance's aggregates in arrays; calling
+        :meth:`record_summary_round` once per instance per round would undo
+        that batching.  This constructor builds the identical end state in
+        one step: the result compares equal (``==``) to a trace built
+        incrementally from the same execution.  The completion round is
+        derived exactly as the incremental path would have: the first round
+        by which every non-source node appears in ``informed_first`` is
+        their maximum first-receipt round (or round 1 for a source-only
+        network that ran at least one round).
+        """
+        if level == TRACE_FULL:
+            raise TraceLevelError(
+                "from_aggregates builds summary/none traces; full traces "
+                "need their per-round records appended"
+            )
+        trace = cls(num_nodes, source, metadata=metadata, level=level)
+        trace._num_rounds = int(num_rounds)
+        trace._total_tx = int(total_transmissions)
+        trace._total_rx = int(total_receptions)
+        trace._total_collisions = int(total_collisions)
+        trace._kind_hist = {
+            str(k): int(v) for k, v in (kind_hist or {}).items() if int(v)
+        }
+        trace._fixed_bits = int(fixed_bits)
+        trace._payload_messages = int(payload_messages)
+        trace._informed_first = {int(v): int(r) for v, r in (informed_first or {}).items()}
+        trace._ack_first = {int(v): int(r) for v, r in (ack_first or {}).items()}
+        trace._ack_last = {int(v): int(r) for v, r in (ack_last or {}).items()}
+        trace._pending -= set(trace._informed_first)
+        if source is not None and not trace._pending and trace._num_rounds >= 1:
+            non_source = [r for v, r in trace._informed_first.items() if v != source]
+            trace._completion_round = max(non_source) if non_source else 1
+        return trace
+
     # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #

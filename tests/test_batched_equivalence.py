@@ -1,0 +1,369 @@
+"""Differential suite for the batched multi-instance engine.
+
+The batched backend stacks many tasks' CSR blocks into one block-diagonal
+kernel invocation; its *entire* claim is that this is invisible: outcomes,
+derived values, stop bookkeeping and full traces must be bit-for-bit
+identical to per-task execution on both the vectorized and the reference
+engines, for any batch composition (ragged sizes, any batch size, any scheme
+mix routed through the grid), and grid rows must be independent of the job
+count and the batch size.  Negative paths: heterogeneous batches refuse with
+a clear error, invalid batch sizes are rejected at config/CLI parse time,
+uncovered schemes ride the per-task fallback, and a failing cell surfaces a
+:class:`~repro.analysis.executor.GridExecutionError` naming its spec.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.executor import GridExecutionError
+from repro.api import GridConfig, get_scheme, run_grid
+from repro.backends import (
+    BackendError,
+    BatchedVectorizedBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    resolve_backend,
+)
+from repro.baselines.collision_detection import run_collision_detection_broadcast
+from repro.cli import build_parser
+from repro.graphs import generate_family
+
+BATCHED = BatchedVectorizedBackend()
+VECTORIZED = VectorizedBackend()
+REFERENCE = ReferenceBackend()
+
+#: Schemes the stacked kernels cover natively.
+BATCHED_SCHEMES = [
+    "lambda",
+    "lambda_ack",
+    "round_robin",
+    "coloring_tdma",
+    "centralized",
+    "collision_detection",
+]
+
+FAMILIES = ["path", "cycle", "star", "grid", "gnp_sparse", "geometric"]
+
+
+def _build_task(scheme_name, family, size, seed, trace_level="summary"):
+    """One (graph, scheme, labels, task) work unit, grid-style."""
+    graph = generate_family(family, size, seed)
+    source = seed % graph.n
+    scheme = get_scheme(scheme_name)
+    options = scheme.grid_options(graph, source)
+    info = scheme.build_labels(graph, source, _payload_text="MSG", **options)
+    task = scheme.build_task(
+        graph, info, source,
+        payload="MSG",
+        max_rounds=scheme.default_budget(graph, info),
+        trace_level=trace_level,
+        fault_model=None,
+        clock_model=None,
+    )
+    return graph, scheme, info, task
+
+
+def _fingerprint(result):
+    """Everything a BackendResult exposes: trace (full equality), derived
+    outcomes and stop bookkeeping."""
+    return (
+        result.trace,
+        result.derived,
+        result.simulation.stop_round,
+        result.simulation.stop_reason,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# property-based differential tests: batched == vectorized == reference
+# --------------------------------------------------------------------------- #
+class TestBatchedDifferential:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        scheme_name=st.sampled_from(BATCHED_SCHEMES),
+        instances=st.lists(
+            st.tuples(
+                st.sampled_from(FAMILIES),
+                st.integers(min_value=2, max_value=20),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        trace_level=st.sampled_from(["summary", "full"]),
+    )
+    def test_batched_matches_vectorized_and_reference(
+        self, scheme_name, instances, trace_level
+    ):
+        built = [_build_task(scheme_name, f, n, s, trace_level) for f, n, s in instances]
+        outs = BATCHED.run_batch([task for *_, task in built])
+        for (graph, scheme, info, task), out in zip(built, outs):
+            assert out.simulation.nodes == []  # the stacked kernel really ran
+            solo = VECTORIZED.run_task(task)
+            assert _fingerprint(out) == _fingerprint(solo)
+            ref = REFERENCE.run_task(task)
+            if trace_level == "full":
+                assert out.trace.to_json() == ref.trace.to_json()
+            assert out.trace == ref.trace
+            out_outcome = scheme.derive_outcome(graph, task, out, info)
+            ref_outcome = scheme.derive_outcome(graph, task, ref, info)
+            assert out_outcome.completion_round == ref_outcome.completion_round
+            assert out_outcome.acknowledgement_round == ref_outcome.acknowledgement_round
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        sizes=st.lists(st.integers(min_value=2, max_value=24), min_size=2, max_size=6),
+        scheme_name=st.sampled_from(BATCHED_SCHEMES),
+    )
+    def test_ragged_batch_composition_is_invisible(self, sizes, scheme_name):
+        """Splitting the same tasks into different batch shapes changes nothing."""
+        built = [
+            _build_task(scheme_name, "gnp_sparse", n, i) for i, n in enumerate(sizes)
+        ]
+        tasks = [task for *_, task in built]
+        whole = BATCHED.run_batch(tasks)
+        halves = BATCHED.run_batch(tasks[: len(tasks) // 2]) + BATCHED.run_batch(
+            tasks[len(tasks) // 2 :]
+        )
+        singles = [BATCHED.run_batch([t])[0] for t in tasks]
+        for a, b, c in zip(whole, halves, singles):
+            assert _fingerprint(a) == _fingerprint(b) == _fingerprint(c)
+
+
+class TestCollisionDetectionVectorized:
+    """The last baseline off the reference engine now runs as a kernel."""
+
+    CASES = [("path", 9, 1), ("grid", 16, 1), ("gnp_sparse", 25, 7)]
+
+    @pytest.mark.parametrize("family,size,seed", CASES,
+                             ids=[f"{f}-{n}" for f, n, _ in CASES])
+    @pytest.mark.parametrize("backend", ["vectorized", "batched"])
+    def test_with_detection_identical_to_reference(self, backend, family, size, seed):
+        graph = generate_family(family, size, seed)
+        source = seed % graph.n
+        ref = run_collision_detection_broadcast(
+            graph, source, backend="reference", trace_level="summary"
+        )
+        alt = run_collision_detection_broadcast(
+            graph, source, backend=backend, trace_level="summary"
+        )
+        assert alt.completion_round == ref.completion_round
+        assert alt.extras["decoded_correctly"] and ref.extras["decoded_correctly"]
+        assert alt.simulation.trace == ref.simulation.trace
+        assert len(alt.simulation.nodes) == 0  # kernel path, no node objects
+
+    @pytest.mark.parametrize("backend", ["vectorized", "batched"])
+    def test_without_detection_fails_identically(self, backend):
+        # The protocol genuinely needs the detection channel; under the
+        # paper's default model it must fail the same way on every engine.
+        graph = generate_family("grid", 16, 1)
+        ref = run_collision_detection_broadcast(
+            graph, 0, with_detection=False, backend="reference", trace_level="summary"
+        )
+        alt = run_collision_detection_broadcast(
+            graph, 0, with_detection=False, backend=backend, trace_level="summary"
+        )
+        assert ref.completion_round is None and alt.completion_round is None
+        assert not alt.extras["decoded_correctly"]
+        assert alt.simulation.trace == ref.simulation.trace
+
+    def test_full_trace_identical(self):
+        graph = generate_family("gnp_sparse", 16, 3)
+        ref = run_collision_detection_broadcast(
+            graph, 1, backend="reference", trace_level="full"
+        )
+        vec = run_collision_detection_broadcast(
+            graph, 1, backend="vectorized", trace_level="full"
+        )
+        assert vec.trace.to_json() == ref.trace.to_json()
+
+
+# --------------------------------------------------------------------------- #
+# grid-level equality: batch sizes × job counts × fault/clock axes
+# --------------------------------------------------------------------------- #
+GRID_CFG = GridConfig(
+    families=["path", "gnp_sparse"],
+    sizes=[9, 16],
+    seeds_per_size=2,
+    schemes=["lambda", "lambda_ack", "round_robin", "collision_detection", "lambda_arb"],
+    # Every fault/clock spec kind: non-default models route through the
+    # per-task fallback, which must be just as invisible as the stacking.
+    faults=[None, "drop:0.15:3", "crash:2@4"],
+    clocks=[None, "offset:2", "random_offsets:5:1"],
+)
+
+
+@pytest.fixture(scope="module")
+def reference_rows():
+    return run_grid(GRID_CFG, backend="reference", jobs=1)
+
+
+class TestGridBatching:
+    def test_vectorized_rows_match_reference(self, reference_rows):
+        assert run_grid(GRID_CFG, backend="vectorized", jobs=1) == reference_rows
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 7, 64])
+    def test_batched_rows_match_reference(self, reference_rows, batch_size):
+        rows = run_grid(GRID_CFG, backend="batched", jobs=1, batch_size=batch_size)
+        assert rows == reference_rows
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_batched_rows_independent_of_jobs(self, reference_rows, jobs):
+        rows = run_grid(GRID_CFG, backend="batched", jobs=jobs)
+        assert rows == reference_rows
+
+    def test_config_level_batch_size_engages_batching(self, reference_rows):
+        cfg = GridConfig(**{**GRID_CFG.__dict__, "batch_size": 5})
+        assert run_grid(cfg, backend="batched", jobs=1) == reference_rows
+
+    def test_batch_size_with_default_backend_is_valid(self):
+        # batch_size routes through the grouping path for any backend; the
+        # default (reference) backend just runs its batches task by task.
+        cfg = GridConfig(families=["path"], sizes=[9], schemes=["lambda"])
+        assert run_grid(cfg, batch_size=4) == run_grid(cfg)
+
+    def test_batched_path_windows_do_not_change_rows(self, reference_rows):
+        # The batched path materializes instances per ~batch_size window to
+        # bound memory; a batch size smaller than the instance count forces
+        # several windows and must not perturb row order or content.
+        rows = run_grid(GRID_CFG, backend="batched", jobs=1, batch_size=3)
+        assert rows == reference_rows
+
+    def test_cli_batch_size_implies_batched_backend(self):
+        from repro.cli import build_parser, sweep_backend
+
+        args = build_parser().parse_args(
+            ["sweep", "--families", "path", "--sizes", "9", "--batch-size", "4"]
+        )
+        assert args.backend is None
+        assert sweep_backend(args.backend, args.batch_size) == "batched"
+        assert sweep_backend(None, None) == "reference"
+        # An explicit engine choice always wins over the implication.
+        assert sweep_backend("vectorized", 4) == "vectorized"
+
+
+# --------------------------------------------------------------------------- #
+# negative paths
+# --------------------------------------------------------------------------- #
+class TestBatchingNegativePaths:
+    def test_empty_batch(self):
+        assert BATCHED.run_batch([]) == []
+
+    def test_mixed_protocols_refuse_to_batch(self):
+        _, _, _, a = _build_task("lambda", "path", 9, 1)
+        _, _, _, b = _build_task("round_robin", "path", 9, 1)
+        with pytest.raises(BackendError, match="mixed protocols"):
+            BATCHED.run_batch([a, b])
+
+    def test_mixed_trace_levels_refuse_to_batch(self):
+        _, _, _, a = _build_task("lambda", "path", 9, 1, trace_level="summary")
+        _, _, _, b = _build_task("lambda", "path", 9, 2, trace_level="full")
+        with pytest.raises(BackendError, match="mixed trace levels"):
+            BATCHED.run_batch([a, b])
+
+    def test_strict_batched_raises_for_uncovered_scheme(self):
+        _, _, _, task = _build_task("lambda_arb", "path", 9, 1)
+        with pytest.raises(BackendError, match="no stacked kernel"):
+            BatchedVectorizedBackend(strict=True).run_batch([task])
+
+    def test_fallback_covers_uncovered_scheme(self):
+        # B_arb has no stacked kernel: the batched backend must hand it to
+        # the single-instance vectorized engine and still be exact.
+        graph, scheme, info, task = _build_task("lambda_arb", "grid", 16, 2)
+        out = BATCHED.run_batch([task])[0]
+        solo = VECTORIZED.run_task(task)
+        assert _fingerprint(out) == _fingerprint(solo)
+
+    def test_fallback_covers_non_default_models(self):
+        from repro.radio.clock import OffsetClocks
+
+        graph = generate_family("path", 9, 1)
+        scheme = get_scheme("lambda")
+        info = scheme.build_labels(graph, 0)
+        tasks = []
+        for _ in range(2):
+            tasks.append(scheme.build_task(
+                graph, info, 0, payload="MSG",
+                max_rounds=scheme.default_budget(graph, info),
+                trace_level="summary", fault_model=None,
+                clock_model=OffsetClocks({v: 3 for v in graph.nodes()}),
+            ))
+        out = BATCHED.run_batch([tasks[0]])[0]
+        ref = REFERENCE.run_task(tasks[1])
+        assert out.trace == ref.trace
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_grid_config_rejects_non_positive_batch_size(self, bad):
+        with pytest.raises(ValueError, match="batch_size"):
+            GridConfig(families=["path"], sizes=[9], batch_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_run_grid_rejects_non_positive_batch_size(self, bad):
+        cfg = GridConfig(families=["path"], sizes=[9], schemes=["lambda"])
+        with pytest.raises(ValueError, match="batch_size"):
+            run_grid(cfg, batch_size=bad)
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "many"])
+    def test_cli_rejects_bad_batch_size(self, bad, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--families", "path", "--sizes", "9",
+                               "--batch-size", bad])
+        assert "batch size" in capsys.readouterr().err
+
+    def test_resolve_backend_knows_batched(self):
+        backend = resolve_backend("batched")
+        assert isinstance(backend, BatchedVectorizedBackend)
+        assert resolve_backend("batched") is backend
+
+
+# --------------------------------------------------------------------------- #
+# failing cells surface their scenario spec
+# --------------------------------------------------------------------------- #
+class TestGridExecutionError:
+    #: A payload too long for the bit-signalling 16-bit length header: the
+    #: collision-detection scheme fails at execution time on every backend.
+    BAD_PAYLOAD = "x" * 9000
+
+    def test_serial_failure_names_the_spec(self):
+        cfg = GridConfig(families=["path"], sizes=[9],
+                         schemes=["collision_detection"], payload=self.BAD_PAYLOAD)
+        with pytest.raises(GridExecutionError) as excinfo:
+            run_grid(cfg, backend="reference", jobs=1)
+        message = str(excinfo.value)
+        assert "collision_detection" in message
+        assert "path" in message and "seed=" in message
+        assert excinfo.value.spec["scheme"] == "collision_detection"
+        assert excinfo.value.spec["family"] == "path"
+
+    def test_batched_failure_names_the_spec(self):
+        cfg = GridConfig(families=["path"], sizes=[9],
+                         schemes=["collision_detection"], payload=self.BAD_PAYLOAD)
+        with pytest.raises(GridExecutionError) as excinfo:
+            run_grid(cfg, backend="batched", jobs=1, batch_size=4)
+        assert excinfo.value.spec["scheme"] == "collision_detection"
+
+    def test_parallel_failure_names_the_spec(self):
+        # The error must cross the process-pool boundary intact instead of
+        # surfacing as a bare pool traceback.
+        cfg = GridConfig(families=["path"], sizes=[9, 16], seeds_per_size=2,
+                         schemes=["lambda", "collision_detection"],
+                         payload=self.BAD_PAYLOAD)
+        with pytest.raises(GridExecutionError) as excinfo:
+            run_grid(cfg, backend="batched", jobs=2, batch_size=2)
+        assert excinfo.value.spec["scheme"] == "collision_detection"
+        assert "seed=" in str(excinfo.value)
+
+    def test_pickles_with_spec_intact(self):
+        err = GridExecutionError("boom", {"scheme": "lambda", "n": 9})
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, GridExecutionError)
+        assert str(clone) == "boom"
+        assert clone.spec == {"scheme": "lambda", "n": 9}

@@ -8,6 +8,7 @@ worst case and must meet the bound with equality.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.analysis import format_table
@@ -31,20 +32,23 @@ def bench_theorem_2_9_bound_sweep(benchmark):
     """Measure completion round vs. the 2n−3 bound across families and sizes."""
     rows = benchmark.pedantic(_sweep_rows, rounds=1, iterations=1)
     assert rows
-    for row in rows:
-        assert row.completion_round is not None, row.family
-        assert row.completion_round <= max(1, 2 * row.n - 3), row.family
+    # Columnar check: every cell completed, and completion <= 2n-3 holds as
+    # one vectorized comparison over the whole sweep.
+    completion, completed = rows.column_with_mask("completion_round")
+    assert completed.all(), rows.column("family")[~completed]
+    bound = np.maximum(1, 2 * rows.column("n") - 3)
+    assert (completion <= bound).all(), rows.column("family")[completion > bound]
 
     table = [
         {
-            "family": r.family,
-            "n": r.n,
-            "ecc(source)": r.source_eccentricity,
-            "completion": r.completion_round,
-            "bound 2n-3": max(1, 2 * r.n - 3),
-            "slack": max(1, 2 * r.n - 3) - r.completion_round,
+            "family": doc["family"],
+            "n": doc["n"],
+            "ecc(source)": doc["source_eccentricity"],
+            "completion": doc["completion_round"],
+            "bound 2n-3": int(b),
+            "slack": int(b) - doc["completion_round"],
         }
-        for r in rows
+        for doc, b in zip(rows.to_dicts(), bound)
     ]
     report("E2 / Theorem 2.9 — completion round vs bound", format_table(table))
 

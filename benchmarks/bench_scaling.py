@@ -303,3 +303,60 @@ def bench_parallel_sweep_executor():
         f"jobs={jobs}: {parallel_wall:.2f}s on {cores} core(s); "
         f"rows identical: True",
     )
+
+
+def bench_store_backed_sweep():
+    """Cold vs warm store-backed sweep; emits the ``store_sweep`` section.
+
+    The result store makes re-running a grid incremental by construction:
+    the warm pass serves every row from the content-addressed store without
+    a single backend invocation.  Asserted here with an invocation counter
+    and reported as cold/warm wall clock so later PRs can track the store's
+    overhead (key hashing + JSONL append) against the compute it saves.
+    """
+    import tempfile
+
+    from repro.api import GridConfig, run_grid
+    from repro.backends import ReferenceBackend
+    from repro.store import ResultStore
+
+    cfg = GridConfig(families=["path", "gnp_sparse"], sizes=[64, 128],
+                     seeds_per_size=4, schemes=["lambda", "round_robin"])
+    invocations = []
+    original = ReferenceBackend.run_task
+
+    def counting(self, task):
+        invocations.append(1)
+        return original(self, task)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ReferenceBackend.run_task = counting
+        try:
+            with ResultStore(Path(tmp) / "store") as store:
+                start = time.perf_counter()
+                cold_rows = run_grid(cfg, store=store)
+                cold_wall = time.perf_counter() - start
+                cold_calls = len(invocations)
+                start = time.perf_counter()
+                warm_rows = run_grid(cfg, store=store)
+                warm_wall = time.perf_counter() - start
+                warm_calls = len(invocations) - cold_calls
+        finally:
+            ReferenceBackend.run_task = original
+    assert warm_rows == cold_rows, "warm rows must be bit-identical"
+    assert cold_calls == len(cold_rows), "cold pass computes every cell"
+    assert warm_calls == 0, "warm pass must not touch a backend"
+    _merge_bench_json("store_sweep", [{
+        "rows": len(cold_rows),
+        "cold_seconds": round(cold_wall, 4),
+        "warm_seconds": round(warm_wall, 4),
+        "cold_backend_calls": cold_calls,
+        "warm_backend_calls": warm_calls,
+        "speedup": round(cold_wall / warm_wall, 1) if warm_wall else None,
+    }])
+    report(
+        "E10d — store-backed resumable sweep",
+        f"{len(cold_rows)} rows; cold: {cold_wall:.2f}s "
+        f"({cold_calls} backend calls), warm: {warm_wall:.3f}s "
+        f"(0 backend calls, 100% cache hits)",
+    )

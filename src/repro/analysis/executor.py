@@ -28,16 +28,32 @@ class GridExecutionError(RuntimeError):
     cell failure in this error, whose message and :attr:`spec` dict carry the
     scheme name, graph family/size/seed, source and fault/clock tags.
 
-    The explicit ``__reduce__`` keeps both the message and the spec intact
-    when the exception is pickled back from a worker process.
+    The explicit ``__reduce__`` keeps the message, the spec and the store key
+    intact when the exception is pickled back from a worker process.
+
+    :attr:`store_key` is the failing cell's content-addressed result-store
+    key (see :mod:`repro.store.keys`), so a failure in a store-backed sweep
+    names exactly which cache entry the retry will compute; it is also
+    mirrored into ``spec["store_key"]``.
     """
 
-    def __init__(self, message: str, spec: Optional[Dict[str, Any]] = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        spec: Optional[Dict[str, Any]] = None,
+        store_key: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.spec: Dict[str, Any] = dict(spec or {})
+        self.store_key: Optional[str] = store_key
+        if store_key is not None:
+            self.spec.setdefault("store_key", store_key)
 
     def __reduce__(self):
-        return (type(self), (str(self.args[0]) if self.args else "", self.spec))
+        return (
+            type(self),
+            (str(self.args[0]) if self.args else "", self.spec, self.store_key),
+        )
 
 
 def default_jobs() -> int:

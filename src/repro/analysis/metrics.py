@@ -38,6 +38,11 @@ class RunMetrics:
     perturbation the run executed under (``"none"`` / ``"sync"`` for the
     paper's reliable synchronized model); they make rows from multi-axis
     grids (see :func:`repro.api.run_grid`) self-describing.
+
+    ``status`` is ``"ok"`` for a completed execution.  Under
+    ``run_grid(..., strict=False)`` (CLI ``--keep-going``) a failing cell is
+    recorded as a row with ``status="error:<ExceptionName>"`` and zeroed
+    measurements instead of aborting the sweep.
     """
 
     scheme: str
@@ -54,6 +59,12 @@ class RunMetrics:
     total_message_bits: int
     fault: str = "none"
     clock: str = "sync"
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        """True when the row records a successful execution."""
+        return self.status == "ok"
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view for the report renderer."""

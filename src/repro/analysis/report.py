@@ -22,6 +22,17 @@ __all__ = [
 ]
 
 
+def _metric_dicts(metrics: Sequence) -> List[Dict[str, Any]]:
+    """Row dicts for a metrics sequence.
+
+    A columnar :class:`~repro.store.ResultSet` exports its rows in one
+    columnar pass (``to_dicts``); plain row sequences flatten per dataclass.
+    """
+    if hasattr(metrics, "to_dicts"):
+        return metrics.to_dicts()
+    return [m.as_dict() for m in metrics]
+
+
 def _cell(value: Any) -> str:
     if value is None:
         return "-"
@@ -60,10 +71,11 @@ def format_table(
 def format_metrics_table(metrics: Sequence, *, title: Optional[str] = None) -> str:
     """Render a sequence of :class:`~repro.analysis.metrics.RunMetrics` rows.
 
-    The ``fault`` / ``clock`` columns only appear when some row ran under a
-    non-default channel model, so plain sweeps render exactly as before.
+    The ``fault`` / ``clock`` / ``status`` columns only appear when some row
+    ran under a non-default channel model (or recorded a ``--keep-going``
+    failure), so plain sweeps render exactly as before.
     """
-    rows = [m.as_dict() for m in metrics]
+    rows = _metric_dicts(metrics)
     columns = [
         "scheme",
         "family",
@@ -81,6 +93,8 @@ def format_metrics_table(metrics: Sequence, *, title: Optional[str] = None) -> s
         columns.append("fault")
     if any(row.get("clock", "sync") != "sync" for row in rows):
         columns.append("clock")
+    if any(row.get("status", "ok") != "ok" for row in rows):
+        columns.append("status")
     return format_table(rows, columns, title=title)
 
 
@@ -91,7 +105,7 @@ def metrics_to_json(metrics: Sequence, *, indent: int = 2) -> str:
     tooling; field order follows the dataclass definition, row order is the
     sweep order.
     """
-    return json.dumps([m.as_dict() for m in metrics], indent=indent)
+    return json.dumps(_metric_dicts(metrics), indent=indent)
 
 
 def metrics_to_csv(metrics: Sequence) -> str:
@@ -100,7 +114,7 @@ def metrics_to_csv(metrics: Sequence) -> str:
     The header row lists every metrics field; ``None`` cells are left empty.
     """
     buffer = io.StringIO()
-    rows = [m.as_dict() for m in metrics]
+    rows = _metric_dicts(metrics)
     if not rows:
         return ""
     writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()), lineterminator="\n")

@@ -1,36 +1,62 @@
-"""Grid experiments: ``run_grid`` — the engine under every sweep.
+"""Grid experiments: streaming, resumable sessions behind ``run_grid``.
 
 A :class:`GridConfig` extends the legacy sweep grid (families × sizes × seeds
-× schemes) with two new axes the old sweep layer could not express at all:
+× schemes) with two axes the old sweep layer could not express at all —
 **fault models** and **clock models**, as declarative specs (see
-:mod:`repro.api.specs`).  ``run_grid`` executes the full cross product and
-returns flat :class:`~repro.analysis.metrics.RunMetrics` rows in a stable
-order; with ``jobs > 1`` cells fan out over a process pool with results
-guaranteed identical to the serial order, because every cell is a plain
-serializable spec the workers rematerialize (graph from its seed-derived
-spec, fault/clock model from its spec dict).
+:mod:`repro.api.specs`).  The execution surface is layered:
 
-The legacy ``repro.analysis.sweep.run_sweep`` /
-``repro.analysis.executor.run_sweep_parallel`` entry points are thin wrappers
-over this module: a grid with the default ``faults=(None,)`` /
-``clocks=(None,)`` axes reproduces legacy sweep rows bit for bit.
+* :func:`iter_grid` is the streaming core: a generator yielding
+  :class:`~repro.analysis.metrics.RunMetrics` rows as worker chunks complete
+  — out of order across the pool by default, deterministically ordered with
+  ``ordered=True`` — with ``on_cell`` / ``on_chunk`` progress callbacks
+  instead of silent multi-minute blocking.  Handing it a
+  :class:`~repro.store.ResultStore` makes the grid **incremental**: every
+  cell whose content-addressed key (scheme, family, n, seed, source rule,
+  payload, fault, clock, backend, trace level, schema version — see
+  :mod:`repro.store.keys`) is already stored is served from disk, and every
+  freshly computed row is flushed to the store before it is yielded, so an
+  interrupted sweep resumes exactly where it died.
+* :func:`run_grid` drains ``iter_grid(..., ordered=True)`` into a columnar
+  :class:`~repro.store.ResultSet` (list-compatible, so existing consumers of
+  the old ``List[RunMetrics]`` return type keep working).
+
+The unit of work is one **row**: one scheme run on one
+(family, size, rep, fault, clock) cell.  Row order is the stable sweep order
+(instance → fault → clock → scheme) for any job count, chunk size and batch
+size; with ``jobs > 1`` cells fan out over a process pool as plain
+serializable specs the workers rematerialize.
+
+``strict=False`` records a failing cell as a row with an ``"error:..."``
+status instead of aborting the sweep; in strict mode the failure surfaces as
+a :class:`~repro.analysis.executor.GridExecutionError` naming the cell spec
+*and* its store key.
 
 With ``batch_size`` set (or ``backend="batched"``), work units sharing a
 (scheme, fault spec, clock spec, trace level) compatibility key are grouped
 and dispatched through ``SimulationBackend.run_batch`` — on the batched
 backend that is one block-diagonal kernel invocation per group — with rows
-guaranteed identical to per-cell execution and independent of both the job
-count and the batch size.
+guaranteed identical to per-cell execution.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..analysis.metrics import RunMetrics, metrics_from_run
+from ..analysis.sweep import instance_seed
 from ..backends import BACKEND_NAMES
+from ..store import ResultSet, ResultStore, unit_key
 from .schemes import get_scheme, scheme_names
 from .specs import (
     ClockSpec,
@@ -42,11 +68,23 @@ from .specs import (
     spec_label,
 )
 
-__all__ = ["DEFAULT_BATCH_SIZE", "GridConfig", "grid_cell_specs", "run_grid"]
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "GridConfig",
+    "GridProgress",
+    "grid_cell_specs",
+    "grid_row_specs",
+    "grid_unit_key",
+    "iter_grid",
+    "run_grid",
+]
 
 #: One grid cell: ``(family, size, rep, fault_spec, clock_spec)`` — all plain
 #: picklable data; workers rematerialize the graph and the channel models.
 CellSpec = Tuple[str, int, int, Optional[Dict[str, Any]], Optional[Dict[str, Any]]]
+
+#: One work unit — one row of the result: a cell plus the scheme to run on it.
+UnitSpec = Tuple[str, int, int, Optional[Dict[str, Any]], Optional[Dict[str, Any]], str]
 
 
 @dataclass
@@ -117,40 +155,92 @@ def grid_cell_specs(config: GridConfig) -> List[CellSpec]:
     ]
 
 
+def grid_row_specs(config: GridConfig) -> List[UnitSpec]:
+    """Every result row's work unit, in stable row order.
+
+    Row order is instance → fault → clock → scheme: exactly the order
+    ``run_grid`` rows come back in (and have since the unified API landed).
+    """
+    return [
+        (family, size, rep, fault, clock, scheme)
+        for family in config.families
+        for size in config.sizes
+        for rep in range(config.seeds_per_size)
+        for fault in config.faults
+        for clock in config.clocks
+        for scheme in config.schemes
+    ]
+
+
+def grid_unit_key(
+    config: GridConfig,
+    unit: UnitSpec,
+    *,
+    backend: Any = None,
+    trace_level: str = "summary",
+) -> str:
+    """The content-addressed result-store key of one grid row."""
+    family, size, rep, fault_spec, clock_spec, scheme = unit
+    return unit_key(
+        scheme=scheme,
+        family=family,
+        size=size,
+        seed=instance_seed(config.base_seed, family, size, rep),
+        source_rule=config.source_rule,
+        payload=config.payload,
+        fault_spec=fault_spec,
+        clock_spec=clock_spec,
+        backend=backend,
+        trace_level=trace_level,
+    )
+
+
+def _units_per_instance(config: GridConfig) -> int:
+    return max(1, len(config.faults) * len(config.clocks) * len(config.schemes))
+
+
 def _validate_schemes(config: GridConfig) -> None:
     unknown = [s for s in config.schemes if s not in scheme_names()]
     if unknown:
         raise ValueError(f"unknown schemes {unknown}; known: {scheme_names()}")
 
 
-def _group_cells_by_instance(
-    cells: Sequence[CellSpec],
-) -> List[Tuple[Tuple[str, int, int], List[CellSpec]]]:
-    """Group *consecutive* cells sharing an instance, preserving sweep order.
+def _group_units_by_instance(
+    units: Sequence[UnitSpec],
+) -> List[Tuple[Tuple[str, int, int], List[UnitSpec]]]:
+    """Group *consecutive* units sharing an instance, preserving row order.
 
-    ``grid_cell_specs`` keeps the fault/clock axes innermost, so all cells of
-    one (family, size, rep) instance are adjacent; grouping lets the runner
-    materialize the graph (and compute each paper scheme's labeling) once per
-    instance instead of once per channel-model combination.
+    ``grid_row_specs`` keeps the fault/clock/scheme axes innermost, so all
+    units of one (family, size, rep) instance are adjacent; grouping lets the
+    runner materialize the graph (and compute each scheme's labeling) once
+    per instance instead of once per row.  Holds for any contiguous slice of
+    the row list — including slices with store-cached rows removed.
     """
-    groups: List[Tuple[Tuple[str, int, int], List[CellSpec]]] = []
-    for cell in cells:
-        key = (cell[0], cell[1], cell[2])
+    groups: List[Tuple[Tuple[str, int, int], List[UnitSpec]]] = []
+    for unit in units:
+        key = (unit[0], unit[1], unit[2])
         if groups and groups[-1][0] == key:
-            groups[-1][1].append(cell)
+            groups[-1][1].append(unit)
         else:
-            groups.append((key, [cell]))
+            groups.append((key, [unit]))
     return groups
 
 
 def _cell_error(
-    exc: BaseException, scheme_name: str, instance: Any, fault_spec: Any, clock_spec: Any
+    exc: BaseException,
+    scheme_name: str,
+    instance: Any,
+    fault_spec: Any,
+    clock_spec: Any,
+    store_key: Optional[str] = None,
 ):
     """Wrap a cell failure so it names the failing scenario spec.
 
     Workers ship whole chunks across the pool boundary; without this, a
     failure surfaces as a bare traceback with no hint of which
-    (scheme, graph, seed) cell died.
+    (scheme, graph, seed) cell died.  ``store_key`` additionally names the
+    result-store entry the cell would have filled, so store-backed sweeps
+    can be resumed or diffed by key.
     """
     from ..analysis.executor import GridExecutionError  # local: avoids cycle
 
@@ -165,76 +255,121 @@ def _cell_error(
         "fault": fault_tag,
         "clock": clock_tag,
     }
+    key_note = f" store_key={store_key}" if store_key else ""
     return GridExecutionError(
         f"grid cell failed: scheme={scheme_name!r} graph={instance.family}:"
         f"{instance.n} seed={instance.seed} source={instance.source} "
-        f"fault={fault_tag!r} clock={clock_tag!r}: {type(exc).__name__}: {exc}",
+        f"fault={fault_tag!r} clock={clock_tag!r}:{key_note} "
+        f"{type(exc).__name__}: {exc}",
         spec,
+        store_key,
     )
 
 
-def _run_instance_cells(
+def _failure_row(
+    scheme_name: str,
+    family: str,
+    n: int,
+    fault_spec: Any,
+    clock_spec: Any,
+    exc: BaseException,
+) -> RunMetrics:
+    """The ``strict=False`` record of a failed cell: zeroed measurements,
+    ``status="error:<ExceptionName>"``."""
+    return RunMetrics(
+        scheme=scheme_name,
+        family=family,
+        n=int(n),
+        source_eccentricity=0,
+        label_bits=0,
+        distinct_labels=0,
+        completion_round=None,
+        bound=None,
+        acknowledgement_round=None,
+        transmissions=0,
+        collisions=0,
+        total_message_bits=0,
+        fault=spec_label(fault_spec, default="none"),
+        clock=spec_label(clock_spec, default="sync"),
+        status=f"error:{type(exc).__name__}",
+    )
+
+
+def _run_units(
     config: GridConfig,
-    cells: Sequence[CellSpec],
+    units: Sequence[UnitSpec],
     *,
     backend: Any,
     trace_level: str,
+    strict: bool = True,
 ) -> List[RunMetrics]:
-    """Run every configured scheme on each fault/clock cell of one instance."""
+    """Run a contiguous span of work units, one backend call per unit.
+
+    Instances are materialized once per consecutive group and every scheme's
+    :class:`SchemeLabels` is built once per instance (labels and schedules
+    are pure functions of (graph, source, payload)), then reused across the
+    fault/clock rows.  ``_payload_text`` reaches the one scheme whose label
+    step depends on the payload (bit signalling); the others swallow it.
+    """
     from ..analysis.sweep import materialize_instance  # local: avoids import cycle
 
-    family, size, rep = cells[0][0], cells[0][1], cells[0][2]
-    instance = materialize_instance(config, family, size, rep)
-    # Labels and schedules are pure functions of (graph, source, payload), so
-    # every scheme's SchemeLabels is built once and reused across the
-    # fault/clock cells of the instance.  ``_payload_text`` reaches the one
-    # scheme whose label step depends on the payload (bit signalling); the
-    # others swallow it.
-    labels_infos: Dict[str, Any] = {}
     rows: List[RunMetrics] = []
-    for _, _, _, fault_spec, clock_spec in cells:
-        fault_tag = spec_label(fault_spec, default="none")
-        clock_tag = spec_label(clock_spec, default="sync")
-        for scheme_name in config.schemes:
+    for (family, size, rep), group in _group_units_by_instance(units):
+        try:
+            instance = materialize_instance(config, family, size, rep)
+        except Exception as exc:
+            if strict:
+                raise
+            rows.extend(
+                _failure_row(unit[5], family, size, unit[3], unit[4], exc)
+                for unit in group
+            )
+            continue
+        labels_infos: Dict[str, Any] = {}
+        for unit in group:
+            _, _, _, fault_spec, clock_spec, scheme_name = unit
+
+            def key() -> str:
+                return grid_unit_key(config, unit, backend=backend,
+                                     trace_level=trace_level)
+
             scheme = get_scheme(scheme_name)
-            options = scheme.grid_options(instance.graph, instance.source)
-            if scheme_name not in labels_infos:
-                try:
+            try:
+                options = scheme.grid_options(instance.graph, instance.source)
+                if scheme_name not in labels_infos:
                     labels_infos[scheme_name] = scheme.build_labels(
                         instance.graph, instance.source,
                         _payload_text=str(config.payload), **options,
                     )
-                except Exception as exc:
-                    raise _cell_error(exc, scheme_name, instance, fault_spec,
-                                      clock_spec) from exc
-            # Fresh model objects per run: fault models memoise coin flips,
-            # and a shared instance across schemes would make results depend
-            # on execution order (and break jobs-independence).
-            fault_model = fault_model_from_spec(fault_spec)
-            clock_model = clock_model_from_spec(clock_spec, instance.graph.n)
-            try:
+                # Fresh model objects per run: fault models memoise coin
+                # flips, and a shared instance across rows would make results
+                # depend on execution order (and break jobs-independence).
                 outcome = scheme.run(
                     instance.graph,
                     instance.source,
                     payload=config.payload,
                     labels_info=labels_infos[scheme_name],
-                    fault_model=fault_model,
-                    clock_model=clock_model,
+                    fault_model=fault_model_from_spec(fault_spec),
+                    clock_model=clock_model_from_spec(clock_spec, instance.graph.n),
                     backend=backend,
                     trace_level=trace_level,
                     **options,
                 )
             except Exception as exc:
-                raise _cell_error(exc, scheme_name, instance, fault_spec,
-                                  clock_spec) from exc
+                if strict:
+                    raise _cell_error(exc, scheme_name, instance, fault_spec,
+                                      clock_spec, key()) from exc
+                rows.append(_failure_row(scheme_name, family, instance.n,
+                                         fault_spec, clock_spec, exc))
+                continue
             rows.append(
                 metrics_from_run(
                     instance.graph,
                     outcome,
                     family=instance.family,
                     source=instance.source,
-                    fault=fault_tag,
-                    clock=clock_tag,
+                    fault=spec_label(fault_spec, default="none"),
+                    clock=spec_label(clock_spec, default="sync"),
                 )
             )
     return rows
@@ -245,51 +380,53 @@ def _run_instance_cells(
 DEFAULT_BATCH_SIZE = 64
 
 
-def _run_cells_batched(
+def _run_units_batched(
     config: GridConfig,
-    cells: Sequence[CellSpec],
+    units: Sequence[UnitSpec],
     *,
     backend: Any,
     trace_level: str,
     batch_size: int,
+    strict: bool = True,
 ) -> List[RunMetrics]:
-    """Run a span of grid cells with compatible work units batched together.
+    """Run a span of work units with compatible units batched together.
 
-    Work units (one scheme run on one fault/clock cell of one instance) are
-    grouped by (scheme, fault spec, clock spec) — the compatibility key under
-    which the batched backend can stack them — and dispatched ``batch_size``
-    at a time through ``run_batch``.  Rows come back in the same stable
-    order the per-cell path produces; the backend guarantees batched results
-    are bit-identical to per-task execution, so the grouping is invisible to
-    callers.  A failure is re-attributed to its single work unit (the batch
-    is replayed per task) and raised as a
-    :class:`~repro.analysis.executor.GridExecutionError` naming the spec.
+    Units are grouped by (scheme, fault spec, clock spec) — the
+    compatibility key under which the batched backend can stack them — and
+    dispatched ``batch_size`` at a time through ``run_batch``.  Rows come
+    back in the same stable order the per-cell path produces; the backend
+    guarantees batched results are bit-identical to per-task execution, so
+    the grouping is invisible to callers.  A failure is re-attributed to its
+    single work unit (the batch is replayed per task) and raised as a
+    :class:`~repro.analysis.executor.GridExecutionError` naming the spec and
+    store key — or, with ``strict=False``, recorded as an error-status row.
 
-    Cells are processed in windows spanning ~``batch_size`` instances, so
+    Units are processed in windows spanning ~``batch_size`` instances, so
     peak memory stays O(batch_size) graphs/labelings — not O(all instances)
     — while every (scheme, fault, clock) group inside a window still fills
     whole batches.
     """
     from ..analysis.executor import chunk_specs  # local: avoids cycle
 
-    cells_per_instance = max(1, len(config.faults) * len(config.clocks))
-    window = batch_size * cells_per_instance
+    window = batch_size * _units_per_instance(config)
     rows: List[RunMetrics] = []
-    for span in chunk_specs(cells, window):
+    for span in chunk_specs(units, window):
         rows.extend(
-            _run_cell_window_batched(config, span, backend=backend,
-                                     trace_level=trace_level, batch_size=batch_size)
+            _run_unit_window_batched(config, span, backend=backend,
+                                     trace_level=trace_level,
+                                     batch_size=batch_size, strict=strict)
         )
     return rows
 
 
-def _run_cell_window_batched(
+def _run_unit_window_batched(
     config: GridConfig,
-    cells: Sequence[CellSpec],
+    units: Sequence[UnitSpec],
     *,
     backend: Any,
     trace_level: str,
     batch_size: int,
+    strict: bool,
 ) -> List[RunMetrics]:
     """One window of the batched path: materialize, group, stack, derive."""
     from ..analysis.executor import GridExecutionError, chunk_specs
@@ -298,35 +435,45 @@ def _run_cell_window_batched(
 
     backend_obj = resolve_backend(backend if backend is not None else "batched")
 
-    instances: Dict[Tuple[str, int, int], Any] = {}
-    units: List[Tuple[int, str, Tuple[str, int, int], Any, Any]] = []
-    for key, group in _group_cells_by_instance(cells):
-        if key not in instances:
-            instances[key] = materialize_instance(config, *key)
-        for cell in group:
-            for scheme_name in config.schemes:
-                units.append((len(units), scheme_name, key, cell[3], cell[4]))
-
-    labels_cache: Dict[Tuple[str, Tuple[str, int, int]], Any] = {}
-    groups: Dict[Tuple[str, str, str], List] = {}
-    for unit in units:
-        _, scheme_name, _, fault_spec, clock_spec = unit
-        groups.setdefault(
-            (scheme_name, repr(fault_spec), repr(clock_spec)), []
-        ).append(unit)
+    def key_of(unit: UnitSpec) -> str:
+        return grid_unit_key(config, unit, backend=backend, trace_level=trace_level)
 
     rows: List[Optional[RunMetrics]] = [None] * len(units)
+    instances: Dict[Tuple[str, int, int], Any] = {}
+    indexed: List[Tuple[int, UnitSpec]] = []
+    for index, unit in enumerate(units):
+        ikey = (unit[0], unit[1], unit[2])
+        if ikey not in instances:
+            try:
+                instances[ikey] = materialize_instance(config, *ikey)
+            except Exception as exc:
+                if strict:
+                    raise
+                instances[ikey] = exc
+        if isinstance(instances[ikey], BaseException):
+            rows[index] = _failure_row(unit[5], unit[0], unit[1], unit[3],
+                                       unit[4], instances[ikey])
+            continue
+        indexed.append((index, unit))
+
+    groups: Dict[Tuple[str, str, str], List[Tuple[int, UnitSpec]]] = {}
+    for index, unit in indexed:
+        groups.setdefault((unit[5], repr(unit[3]), repr(unit[4])), []).append(
+            (index, unit)
+        )
+
+    labels_cache: Dict[Tuple[str, Tuple[str, int, int]], Any] = {}
     for members in groups.values():
         for batch in chunk_specs(members, batch_size):
             tasks, metas = [], []
-            for unit in batch:
-                index, scheme_name, key, fault_spec, clock_spec = unit
-                instance = instances[key]
+            for index, unit in batch:
+                family, size, rep, fault_spec, clock_spec, scheme_name = unit
+                instance = instances[(family, size, rep)]
                 scheme = get_scheme(scheme_name)
                 try:
                     scheme.validate_source(instance.graph, instance.source)
                     options = scheme.grid_options(instance.graph, instance.source)
-                    cache_key = (scheme_name, key)
+                    cache_key = (scheme_name, (family, size, rep))
                     if cache_key not in labels_cache:
                         labels_cache[cache_key] = scheme.build_labels(
                             instance.graph, instance.source,
@@ -341,13 +488,20 @@ def _run_cell_window_batched(
                         # Fresh model objects per unit: fault models memoise
                         # coin flips, so sharing would couple units.
                         fault_model=fault_model_from_spec(fault_spec),
-                        clock_model=clock_model_from_spec(clock_spec, instance.graph.n),
+                        clock_model=clock_model_from_spec(clock_spec,
+                                                          instance.graph.n),
                     )
                 except Exception as exc:
-                    raise _cell_error(exc, scheme_name, instance, fault_spec,
-                                      clock_spec) from exc
+                    if strict:
+                        raise _cell_error(exc, scheme_name, instance, fault_spec,
+                                          clock_spec, key_of(unit)) from exc
+                    rows[index] = _failure_row(scheme_name, family, instance.n,
+                                               fault_spec, clock_spec, exc)
+                    continue
                 tasks.append(task)
-                metas.append(unit)
+                metas.append((index, unit))
+            if not tasks:
+                continue
             try:
                 results = backend_obj.run_batch(tasks)
             except GridExecutionError:
@@ -355,24 +509,38 @@ def _run_cell_window_batched(
             except Exception:
                 # Replay per task to attribute the failure to one cell spec.
                 results = []
-                for task, unit in zip(tasks, metas):
-                    _, scheme_name, key, fault_spec, clock_spec = unit
+                for task, (index, unit) in zip(tasks, metas):
+                    family, size, rep, fault_spec, clock_spec, scheme_name = unit
+                    instance = instances[(family, size, rep)]
                     try:
                         results.append(backend_obj.run_batch([task])[0])
                     except Exception as exc:
-                        raise _cell_error(exc, scheme_name, instances[key],
-                                          fault_spec, clock_spec) from exc
-            for task, result, unit in zip(tasks, results, metas):
-                index, scheme_name, key, fault_spec, clock_spec = unit
-                instance = instances[key]
+                        if strict:
+                            raise _cell_error(exc, scheme_name, instance,
+                                              fault_spec, clock_spec,
+                                              key_of(unit)) from exc
+                        rows[index] = _failure_row(scheme_name, family,
+                                                   instance.n, fault_spec,
+                                                   clock_spec, exc)
+                        results.append(None)
+            for task, result, (index, unit) in zip(tasks, results, metas):
+                if result is None:
+                    continue  # failure row already recorded above
+                family, size, rep, fault_spec, clock_spec, scheme_name = unit
+                instance = instances[(family, size, rep)]
                 scheme = get_scheme(scheme_name)
                 try:
                     outcome = scheme.derive_outcome(
-                        instance.graph, task, result, labels_cache[(scheme_name, key)]
+                        instance.graph, task, result,
+                        labels_cache[(scheme_name, (family, size, rep))],
                     )
                 except Exception as exc:
-                    raise _cell_error(exc, scheme_name, instance, fault_spec,
-                                      clock_spec) from exc
+                    if strict:
+                        raise _cell_error(exc, scheme_name, instance, fault_spec,
+                                          clock_spec, key_of(unit)) from exc
+                    rows[index] = _failure_row(scheme_name, family, instance.n,
+                                               fault_spec, clock_spec, exc)
+                    continue
                 rows[index] = metrics_from_run(
                     instance.graph,
                     outcome,
@@ -384,24 +552,277 @@ def _run_cell_window_batched(
     return rows  # type: ignore[return-value]
 
 
-#: One work unit: the grid config (as a dict), a list of cell specs and the
-#: execution knobs.  Everything inside is plain picklable data.
-_ChunkPayload = Tuple[dict, List[CellSpec], Optional[str], str, Optional[int]]
+#: One work unit chunk crossing the pool boundary: the grid config (as a
+#: dict), a list of unit specs and the execution knobs — all plain picklable
+#: data.
+_ChunkPayload = Tuple[dict, List[UnitSpec], Optional[str], str, Optional[int], bool]
 
 
 def _run_grid_chunk(payload: _ChunkPayload) -> List[RunMetrics]:
-    """Worker entry point: rematerialize each cell and run every scheme."""
-    config_dict, chunk, backend, trace_level, batch_size = payload
+    """Worker entry point: rematerialize each unit's cell and run its scheme."""
+    config_dict, chunk, backend, trace_level, batch_size, strict = payload
     config = GridConfig(**config_dict)
     if batch_size is not None:
-        return _run_cells_batched(config, chunk, backend=backend,
-                                  trace_level=trace_level, batch_size=batch_size)
-    rows: List[RunMetrics] = []
-    for _, group in _group_cells_by_instance(chunk):
-        rows.extend(
-            _run_instance_cells(config, group, backend=backend, trace_level=trace_level)
+        return _run_units_batched(config, chunk, backend=backend,
+                                  trace_level=trace_level,
+                                  batch_size=batch_size, strict=strict)
+    return _run_units(config, chunk, backend=backend, trace_level=trace_level,
+                      strict=strict)
+
+
+@dataclass(frozen=True)
+class GridProgress:
+    """A progress snapshot handed to ``iter_grid``'s ``on_chunk`` callback.
+
+    One snapshot is emitted before execution starts (announcing the plan:
+    how many rows the store already holds) and one after every completed
+    chunk.  ``computed_rows`` counts fresh successful rows, ``failed_rows``
+    the error-status rows a non-strict sweep recorded.
+    """
+
+    total_rows: int
+    cached_rows: int
+    computed_rows: int = 0
+    failed_rows: int = 0
+    total_chunks: int = 0
+    completed_chunks: int = 0
+
+    @property
+    def done_rows(self) -> int:
+        """Rows available so far (cached + computed + failed)."""
+        return self.cached_rows + self.computed_rows + self.failed_rows
+
+    @property
+    def remaining_rows(self) -> int:
+        """Rows still to compute."""
+        return self.total_rows - self.done_rows
+
+
+def iter_grid(
+    config: GridConfig,
+    *,
+    backend: Any = None,
+    trace_level: str = "summary",
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    ordered: bool = False,
+    store: Optional[ResultStore] = None,
+    strict: bool = True,
+    on_cell: Optional[Callable[[RunMetrics], None]] = None,
+    on_chunk: Optional[Callable[[GridProgress], None]] = None,
+) -> Iterator[RunMetrics]:
+    """Stream grid rows as they complete instead of blocking for the full grid.
+
+    Returns a generator over :class:`RunMetrics` rows.  By default rows are
+    yielded **as soon as their chunk completes** — out of order across the
+    pool — which makes the first rows observable long before the pool
+    drains; ``ordered=True`` buffers just enough to emit rows in the stable
+    grid order instead (the order ``run_grid`` returns).
+
+    Parameters beyond :func:`run_grid`'s:
+
+    ordered:
+        ``True`` yields rows in stable grid row order; ``False`` (default)
+        yields them in completion order.
+    store:
+        A :class:`~repro.store.ResultStore`.  Rows whose content-addressed
+        key is already stored are served from disk without touching a
+        backend; every freshly computed ``"ok"`` row is flushed to the store
+        *before* it is yielded, so interrupting the consumer (or the
+        process) never loses completed work and a re-run resumes exactly
+        where it died.  Error-status rows are never stored — a resumed sweep
+        retries them.
+    strict:
+        ``True`` aborts on the first failing cell with a
+        :class:`~repro.analysis.executor.GridExecutionError` (naming the
+        cell spec and store key); ``False`` records failures as
+        ``status="error:..."`` rows and keeps going.
+    on_cell:
+        Called with each row right before it is yielded.
+    on_chunk:
+        Called with a :class:`GridProgress` snapshot before execution starts
+        and after every completed chunk.
+    """
+    _validate_schemes(config)
+    jobs = _default_jobs() if jobs is None else max(1, int(jobs))
+    if batch_size is None:
+        batch_size = config.batch_size
+    if batch_size is not None:
+        batch_size = int(batch_size)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+    backend_name = backend if isinstance(backend, str) else getattr(backend, "name", None)
+    if batch_size is None and backend_name == "batched":
+        batch_size = DEFAULT_BATCH_SIZE
+    if jobs > 1 and backend is not None and not isinstance(backend, str):
+        if backend_name not in BACKEND_NAMES:
+            raise ValueError(
+                f"parallel sweeps need a registered backend name "
+                f"{sorted(BACKEND_NAMES)}, got instance {backend!r} with name "
+                f"{backend_name!r}; run with jobs=1 to use a custom backend object"
+            )
+        backend = backend_name
+    units = grid_row_specs(config)
+    return _iter_grid_stream(
+        config, units, backend=backend, trace_level=trace_level, jobs=jobs,
+        chunk_size=chunk_size, batch_size=batch_size, ordered=ordered,
+        store=store, strict=strict, on_cell=on_cell, on_chunk=on_chunk,
+    )
+
+
+def _default_jobs() -> int:
+    from ..analysis.executor import default_jobs  # local: avoids cycle
+
+    return default_jobs()
+
+
+def _iter_grid_stream(
+    config: GridConfig,
+    units: List[UnitSpec],
+    *,
+    backend: Any,
+    trace_level: str,
+    jobs: int,
+    chunk_size: Optional[int],
+    batch_size: Optional[int],
+    ordered: bool,
+    store: Optional[ResultStore],
+    strict: bool,
+    on_cell: Optional[Callable[[RunMetrics], None]],
+    on_chunk: Optional[Callable[[GridProgress], None]],
+) -> Iterator[RunMetrics]:
+    """The generator behind :func:`iter_grid` (validation happens eagerly)."""
+    from ..analysis.executor import chunk_specs  # local: avoids cycle
+
+    keys: List[Optional[str]] = [None] * len(units)
+    cached: Dict[int, RunMetrics] = {}
+    if store is not None:
+        for i, unit in enumerate(units):
+            keys[i] = grid_unit_key(config, unit, backend=backend,
+                                    trace_level=trace_level)
+            row = store.get(keys[i])
+            if row is not None:
+                cached[i] = row
+    pending = [i for i in range(len(units)) if i not in cached]
+
+    per_instance = _units_per_instance(config)
+    if chunk_size is None:
+        if jobs == 1:
+            # Stream per instance (per batch window when batching): the first
+            # rows surface after the first instance, and each scheme's labels
+            # are still built once per instance within a chunk.
+            chunk_size = per_instance if batch_size is None else batch_size * per_instance
+        else:
+            chunk_size = max(1, (len(pending) + jobs * 4 - 1) // (jobs * 4))
+            if batch_size is not None:
+                # A worker can only stack units within its own chunk: keep
+                # each chunk wide enough to span ~batch_size instances per
+                # (scheme, fault, clock) group, or the pool's load-balancing
+                # default would silently cap batches.
+                chunk_size = max(chunk_size, batch_size * per_instance)
+    index_chunks = chunk_specs(pending, chunk_size) if pending else []
+
+    progress = GridProgress(
+        total_rows=len(units),
+        cached_rows=len(cached),
+        total_chunks=len(index_chunks),
+    )
+    if on_chunk:
+        on_chunk(progress)
+
+    buffer: Dict[int, RunMetrics] = {}
+    next_emit = 0
+
+    def _persist_and_stage(indices: Sequence[int], rows: Sequence[RunMetrics]):
+        nonlocal progress
+        computed = failed = 0
+        for i, row in zip(indices, rows):
+            if row.status == "ok":
+                computed += 1
+                if store is not None:
+                    store.put(keys[i], row)
+            else:
+                failed += 1
+            buffer[i] = row
+        progress = replace(
+            progress,
+            computed_rows=progress.computed_rows + computed,
+            failed_rows=progress.failed_rows + failed,
+            completed_chunks=progress.completed_chunks + 1,
         )
-    return rows
+
+    def _drain() -> List[RunMetrics]:
+        nonlocal next_emit
+        out: List[RunMetrics] = []
+        if ordered:
+            while next_emit in buffer:
+                out.append(buffer.pop(next_emit))
+                next_emit += 1
+        else:
+            for i in sorted(buffer):
+                out.append(buffer.pop(i))
+        return out
+
+    buffer.update(cached)
+    for row in _drain():
+        if on_cell:
+            on_cell(row)
+        yield row
+
+    if not index_chunks:
+        return
+
+    payloads: List[_ChunkPayload] = [
+        (asdict(config), [units[i] for i in chunk], backend, trace_level,
+         batch_size, strict)
+        for chunk in index_chunks
+    ]
+
+    if min(jobs, len(index_chunks)) <= 1:
+        for chunk, payload in zip(index_chunks, payloads):
+            _persist_and_stage(chunk, _run_grid_chunk(payload))
+            if on_chunk:
+                on_chunk(progress)
+            for row in _drain():
+                if on_cell:
+                    on_cell(row)
+                yield row
+        return
+
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(index_chunks)))
+    try:
+        futures = {
+            pool.submit(_run_grid_chunk, payload): chunk
+            for chunk, payload in zip(index_chunks, payloads)
+        }
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            # Persist every successful chunk of this wave before surfacing a
+            # failure: completed work survives into the store even when a
+            # sibling chunk kills the sweep.
+            first_error: Optional[BaseException] = None
+            for future in done:
+                error = future.exception()
+                if error is not None:
+                    first_error = first_error or error
+                    continue
+                _persist_and_stage(futures[future], future.result())
+                if on_chunk:
+                    on_chunk(progress)
+            if first_error is not None:
+                raise first_error
+            for row in _drain():
+                if on_cell:
+                    on_cell(row)
+                yield row
+    finally:
+        # Reached on exhaustion, on a worker failure and when the consumer
+        # closes the generator mid-sweep ("the crash at cell 9,000"): any
+        # rows already persisted stay persisted, unfinished chunks are
+        # cancelled.
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 def run_grid(
@@ -412,8 +833,16 @@ def run_grid(
     jobs: Optional[int] = 1,
     chunk_size: Optional[int] = None,
     batch_size: Optional[int] = None,
-) -> List[RunMetrics]:
+    store: Optional[ResultStore] = None,
+    strict: bool = True,
+    on_cell: Optional[Callable[[RunMetrics], None]] = None,
+    on_chunk: Optional[Callable[[GridProgress], None]] = None,
+) -> ResultSet:
     """Run every configured scheme over every grid cell and return all rows.
+
+    Drains :func:`iter_grid` in stable order into a columnar
+    :class:`~repro.store.ResultSet` (list-compatible with the historical
+    ``List[RunMetrics]`` return type).
 
     Parameters
     ----------
@@ -428,7 +857,7 @@ def run_grid(
         Worker process count.  ``1`` runs inline; ``None`` uses the CPU
         count.  Rows come back in the same stable order for any job count.
     chunk_size:
-        Cells per work unit; defaults to ~4 chunks per worker.
+        Work units per pool chunk; defaults to ~4 chunks per worker.
     batch_size:
         Compatible work units per stacked kernel invocation.  Setting it (or
         ``config.batch_size``, or passing ``backend="batched"``, which
@@ -437,57 +866,28 @@ def run_grid(
         level) run as one block-diagonal kernel invocation on backends that
         stack (results are guaranteed identical either way).  Must be
         positive.
+    store:
+        A :class:`~repro.store.ResultStore` making the grid incremental:
+        already-stored cells are served from disk, fresh rows are flushed as
+        they complete, and an interrupted run resumes where it died.
+    strict:
+        ``False`` records failing cells as ``status="error:..."`` rows
+        instead of aborting (see :func:`iter_grid`).
+    on_cell / on_chunk:
+        Progress callbacks (see :func:`iter_grid`).
     """
-    from ..analysis.executor import chunk_specs, default_jobs  # local: avoids cycle
-
-    _validate_schemes(config)
-    jobs = default_jobs() if jobs is None else max(1, int(jobs))
-    if batch_size is None:
-        batch_size = config.batch_size
-    if batch_size is not None:
-        batch_size = int(batch_size)
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be positive, got {batch_size}")
-    backend_name = backend if isinstance(backend, str) else getattr(backend, "name", None)
-    if batch_size is None and backend_name == "batched":
-        batch_size = DEFAULT_BATCH_SIZE
-    cells = grid_cell_specs(config)
-    if not cells:
-        return []
-    if jobs == 1:
-        if batch_size is not None:
-            return _run_cells_batched(config, cells, backend=backend,
-                                      trace_level=trace_level, batch_size=batch_size)
-        rows: List[RunMetrics] = []
-        for _, group in _group_cells_by_instance(cells):
-            rows.extend(
-                _run_instance_cells(config, group, backend=backend,
-                                    trace_level=trace_level)
-            )
-        return rows
-    if backend is not None and not isinstance(backend, str):
-        if backend_name not in BACKEND_NAMES:
-            raise ValueError(
-                f"parallel sweeps need a registered backend name "
-                f"{sorted(BACKEND_NAMES)}, got instance {backend!r} with name "
-                f"{backend_name!r}; run with jobs=1 to use a custom backend object"
-            )
-        backend = backend_name
-    if chunk_size is None:
-        chunk_size = max(1, (len(cells) + jobs * 4 - 1) // (jobs * 4))
-        if batch_size is not None:
-            # A worker can only stack units within its own chunk: keep each
-            # chunk wide enough to span ~batch_size instances per group, or
-            # the pool's load-balancing default would silently cap batches.
-            cells_per_instance = max(1, len(config.faults) * len(config.clocks))
-            chunk_size = max(chunk_size, batch_size * cells_per_instance)
-    chunks = chunk_specs(cells, chunk_size)
-    payloads: List[_ChunkPayload] = [
-        (asdict(config), chunk, backend, trace_level, batch_size) for chunk in chunks
-    ]
-    if len(chunks) == 1:
-        results = [_run_grid_chunk(p) for p in payloads]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            results = list(pool.map(_run_grid_chunk, payloads))
-    return [row for chunk_rows in results for row in chunk_rows]
+    return ResultSet(
+        iter_grid(
+            config,
+            backend=backend,
+            trace_level=trace_level,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            batch_size=batch_size,
+            ordered=True,
+            store=store,
+            strict=strict,
+            on_cell=on_cell,
+            on_chunk=on_chunk,
+        )
+    )

@@ -227,6 +227,31 @@ def scheme_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def scheme_backend_coverage(name: Union[str, Scheme]) -> List[str]:
+    """The registered backends that execute ``name`` natively.
+
+    Probes each backend's :meth:`~repro.backends.SimulationBackend.supports`
+    with a tiny representative task (a 4-node path), so the answer reflects
+    the actual kernel coverage — e.g. B_arb runs vectorized but is not yet
+    stacked by the batched engine.  The reference backend covers everything
+    by construction; backends outside a scheme's coverage still *run* it by
+    falling back per task.  Used by ``repro schemes --json`` so tooling that
+    builds grids programmatically can pick backends without trial and error.
+    """
+    from ..backends import BACKEND_NAMES, resolve_backend
+    from ..graphs.generators import generate_family
+
+    scheme = get_scheme(name)
+    graph = generate_family("path", 4, 0)
+    info = scheme.build_labels(graph, 0, **scheme.grid_options(graph, 0))
+    task = scheme.build_task(
+        graph, info, 0, payload="MSG",
+        max_rounds=scheme.default_budget(graph, info),
+        trace_level="summary", fault_model=None, clock_model=None,
+    )
+    return [n for n in BACKEND_NAMES if resolve_backend(n).supports(task)]
+
+
 def paper_scheme_names() -> List[str]:
     """Sorted names of the paper's labeled algorithms."""
     return sorted(n for n, s in _REGISTRY.items() if s.kind == "paper")

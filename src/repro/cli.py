@@ -7,10 +7,17 @@ Installed as ``python -m repro`` (see :mod:`repro.__main__`).  Subcommands:
   Figure-1 style rendering;
 * ``run``        — execute a declarative scenario JSON file with any
   registered scheme (``repro run scenario.json``);
-* ``schemes``    — list the scheme registry;
+* ``schemes``    — list the scheme registry (``--json`` for a machine-readable
+  dump with backend coverage);
 * ``figure1``    — print the Figure 1 reproduction;
 * ``sweep``      — run a scheme/family grid (optionally with fault/clock
-  axes and parallel workers) and print a table, JSON or CSV.
+  axes and parallel workers) and print a table, JSON or CSV.  With
+  ``--store DIR`` the sweep is an incremental session: completed cells land
+  in a content-addressed result store as they finish, already-stored cells
+  are never recomputed, and ``--resume`` picks an interrupted sweep up
+  exactly where it died; ``--keep-going`` records failing cells as
+  status rows instead of aborting;
+* ``results``    — filter/export the rows of a result store directory.
 
 Graphs are specified either as a generator expression ``family:n[:seed]``
 (e.g. ``grid:25``, ``geometric:60:7``) or as a path to an edge-list file
@@ -20,6 +27,7 @@ produced by :func:`repro.graphs.save_edge_list`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -37,11 +45,13 @@ from .api import (
     normalize_clock_spec,
     normalize_fault_spec,
     run_grid,
+    scheme_backend_coverage,
     scheme_names,
     spec_label,
 )
 from .api import run as run_scenario
 from .backends import BACKEND_NAMES
+from .store import ResultStore, StoreError
 from .core import (
     lambda_ack_scheme,
     lambda_arb_scheme,
@@ -135,7 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--output", choices=["text", "json"], default="text",
                       help="text summary or a machine-readable JSON metrics row")
 
-    sub.add_parser("schemes", help="list the registered schemes")
+    schemes = sub.add_parser("schemes", help="list the registered schemes")
+    schemes.add_argument("--json", action="store_true",
+                         help="emit the registry as JSON (name, kind, "
+                              "description, native backend coverage) for "
+                              "tooling that builds grids programmatically")
 
     sub.add_parser("figure1", help="print the Figure 1 reproduction")
 
@@ -173,6 +187,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace recording level for each simulation")
     sweep.add_argument("--output", choices=["table", "json", "csv"], default="table",
                        help="output format for the metric rows")
+    sweep.add_argument("--store", metavar="DIR", default=None,
+                       help="content-addressed result store: completed cells "
+                            "are appended as they finish and already-stored "
+                            "cells are served from disk, so re-running the "
+                            "same sweep is incremental by construction")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep: requires --store "
+                            "and an existing store directory (a typo'd path "
+                            "fails instead of silently starting cold)")
+    sweep.add_argument("--keep-going", action="store_true",
+                       help="record failing cells as rows with an "
+                            "'error:...' status column instead of aborting "
+                            "the whole sweep (exit code 1 if any cell failed)")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print per-chunk progress to stderr while the "
+                            "sweep runs")
+
+    results = sub.add_parser(
+        "results",
+        help="filter/export the rows of a result store directory "
+             "(see sweep --store)",
+    )
+    results.add_argument("store", metavar="DIR", help="result store directory")
+    results.add_argument("--schemes", nargs="+", default=None,
+                         help="keep only these schemes")
+    results.add_argument("--families", nargs="+", default=None,
+                         help="keep only these graph families")
+    results.add_argument("--sizes", nargs="+", type=int, default=None,
+                         help="keep only these graph sizes")
+    results.add_argument("--status", default=None,
+                         help="keep only rows with this status "
+                              "(e.g. ok, or an error:... tag)")
+    results.add_argument("--output", choices=["table", "json", "csv", "jsonl"],
+                         default="table", help="output format for the rows")
 
     return parser
 
@@ -259,6 +307,18 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_schemes(args) -> int:
+    if getattr(args, "json", False):
+        doc = [
+            {
+                "name": name,
+                "kind": get_scheme(name).kind,
+                "description": get_scheme(name).description,
+                "backends": scheme_backend_coverage(name),
+            }
+            for name in scheme_names()
+        ]
+        print(json.dumps(doc, indent=2))
+        return 0
     for name in scheme_names():
         scheme = get_scheme(name)
         print(f"{name:20s} [{scheme.kind:8s}] {scheme.description}")
@@ -295,15 +355,83 @@ def _cmd_sweep(args) -> int:
         clocks=args.clocks,
         payload=args.payload,
     )
-    rows = run_grid(cfg, backend=sweep_backend(args.backend, args.batch_size),
-                    jobs=args.jobs, trace_level=args.trace_level,
-                    batch_size=args.batch_size)
+    if args.resume and not args.store:
+        print("error: --resume requires --store DIR", file=sys.stderr)
+        return 2
+    store = None
+    if args.store:
+        try:
+            store = ResultStore.open(args.store, require_existing=args.resume)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    last_progress = {}
+
+    def on_chunk(progress) -> None:
+        last_progress["snapshot"] = progress
+        if args.progress:
+            print(
+                f"[sweep] rows {progress.done_rows}/{progress.total_rows} "
+                f"(cached {progress.cached_rows}, computed "
+                f"{progress.computed_rows}, failed {progress.failed_rows}) "
+                f"chunks {progress.completed_chunks}/{progress.total_chunks}",
+                file=sys.stderr,
+            )
+
+    try:
+        rows = run_grid(cfg, backend=sweep_backend(args.backend, args.batch_size),
+                        jobs=args.jobs, trace_level=args.trace_level,
+                        batch_size=args.batch_size, store=store,
+                        strict=not args.keep_going, on_chunk=on_chunk)
+    finally:
+        if store is not None:
+            store.close()
     if args.output == "json":
         print(metrics_to_json(rows))
     elif args.output == "csv":
         print(metrics_to_csv(rows), end="")
     else:
         print(format_metrics_table(rows, title="sweep results"))
+    if store is not None:
+        progress = last_progress["snapshot"]
+        print(
+            f"[store] path={args.store} total={progress.total_rows} "
+            f"cached={progress.cached_rows} computed={progress.computed_rows} "
+            f"failed={progress.failed_rows}",
+            file=sys.stderr,
+        )
+    failed = sum(1 for r in rows if r.status != "ok")
+    return 1 if failed else 0
+
+
+def _cmd_results(args) -> int:
+    try:
+        store = ResultStore.open(args.store, require_existing=True)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = store.rows()
+    total = len(rows)
+    if args.schemes:
+        keep = set(args.schemes)
+        rows = rows.filter(lambda r: r.scheme in keep)
+    if args.families:
+        keep = set(args.families)
+        rows = rows.filter(lambda r: r.family in keep)
+    if args.sizes:
+        keep = set(args.sizes)
+        rows = rows.filter(lambda r: r.n in keep)
+    if args.status:
+        rows = rows.filter(status=args.status)
+    if args.output == "json":
+        print(rows.to_json())
+    elif args.output == "csv":
+        print(rows.to_csv(), end="")
+    elif args.output == "jsonl":
+        print(rows.to_jsonl(), end="")
+    else:
+        print(format_metrics_table(
+            rows, title=f"{args.store}: {len(rows)}/{total} rows"))
     return 0
 
 
@@ -318,6 +446,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "schemes": _cmd_schemes,
         "figure1": _cmd_figure1,
         "sweep": _cmd_sweep,
+        "results": _cmd_results,
     }
     return handlers[args.command](args)
 

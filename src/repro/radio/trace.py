@@ -332,6 +332,67 @@ class ExecutionTrace:
             trace._completion_round = max(non_source) if non_source else 1
         return trace
 
+    def to_aggregates(self) -> Dict[str, Any]:
+        """The trace's aggregate state as a JSON-serializable document.
+
+        This is the persistence format of summary/none traces (the result
+        store attaches it to rows): every field :meth:`from_aggregates`
+        accepts, with integer-keyed maps stringified for JSON.  For a
+        summary/none trace whose metadata values are JSON-native,
+        ``from_aggregates_doc(json.loads(json.dumps(t.to_aggregates())))``
+        compares equal (``==``) to ``t`` — including the batched backend's
+        whole-run aggregates (kind histogram, fixed bits, payload-message
+        count, first-informed/ack maps).  Metadata travels verbatim, so
+        non-JSON-serializable metadata values fail at ``json.dumps`` time
+        rather than silently coming back stringified.  Full traces raise:
+        their per-round records do not survive this view (use
+        :meth:`to_json`).
+        """
+        if self.level == TRACE_FULL:
+            raise TraceLevelError(
+                "to_aggregates() captures summary/none traces; full traces "
+                "serialise their per-round records via to_json()"
+            )
+        return {
+            "num_nodes": self.num_nodes,
+            "source": self.source,
+            "level": self.level,
+            "num_rounds": self._num_rounds,
+            "total_transmissions": self._total_tx,
+            "total_receptions": self._total_rx,
+            "total_collisions": self._total_collisions,
+            "kind_hist": dict(self._kind_hist),
+            "fixed_bits": self._fixed_bits,
+            "payload_messages": self._payload_messages,
+            "informed_first": {str(v): r for v, r in self._informed_first.items()},
+            "ack_first": {str(v): r for v, r in self._ack_first.items()},
+            "ack_last": {str(v): r for v, r in self._ack_last.items()},
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_aggregates_doc(cls, doc: Mapping[str, Any]) -> "ExecutionTrace":
+        """Rebuild a summary/none trace from a :meth:`to_aggregates` document."""
+        return cls.from_aggregates(
+            int(doc["num_nodes"]),
+            None if doc.get("source") is None else int(doc["source"]),
+            level=doc.get("level", TRACE_SUMMARY),
+            num_rounds=int(doc.get("num_rounds", 0)),
+            total_transmissions=int(doc.get("total_transmissions", 0)),
+            total_receptions=int(doc.get("total_receptions", 0)),
+            total_collisions=int(doc.get("total_collisions", 0)),
+            kind_hist=doc.get("kind_hist"),
+            fixed_bits=int(doc.get("fixed_bits", 0)),
+            payload_messages=int(doc.get("payload_messages", 0)),
+            informed_first={int(v): int(r)
+                            for v, r in (doc.get("informed_first") or {}).items()},
+            ack_first={int(v): int(r)
+                       for v, r in (doc.get("ack_first") or {}).items()},
+            ack_last={int(v): int(r)
+                      for v, r in (doc.get("ack_last") or {}).items()},
+            metadata=dict(doc.get("metadata") or {}),
+        )
+
     # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #

@@ -1,0 +1,32 @@
+"""repro.store — the persistence layer of streaming experiment sessions.
+
+Three pieces, layered::
+
+    from repro.store import ResultSet, ResultStore, unit_key
+
+    store = ResultStore("sweeps/fig2")        # content-addressed JSONL store
+    rows = run_grid(cfg, store=store)         # incremental by construction
+    rows.filter(scheme="lambda").column("completion_round")   # columnar math
+
+* :mod:`repro.store.keys` — stable content-addressed keys per grid row
+  (scheme × family × n × seed × source rule × fault × clock × backend ×
+  trace level × schema version);
+* :mod:`repro.store.resultset` — :class:`ResultSet`, the NumPy-backed
+  columnar container ``run_grid`` returns (list-compatible);
+* :mod:`repro.store.store` — :class:`ResultStore`, the sharded append-only
+  JSONL store that makes sweeps resumable.
+"""
+
+from .keys import SCHEMA_VERSION, canonical_payload, normalize_backend_name, unit_key
+from .resultset import ResultSet
+from .store import ResultStore, StoreError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultSet",
+    "ResultStore",
+    "StoreError",
+    "canonical_payload",
+    "normalize_backend_name",
+    "unit_key",
+]

@@ -1,0 +1,292 @@
+"""Columnar result container: NumPy-backed typed columns over RunMetrics rows.
+
+``run_grid`` used to return a plain ``list`` of
+:class:`~repro.analysis.metrics.RunMetrics`, which every consumer then
+re-looped: the report renderer, the comparison tables, the benchmark
+assertions.  A :class:`ResultSet` stores the same rows as typed columns —
+``int64`` arrays for counters, ``int64`` + validity mask for optional rounds,
+unicode arrays for tags — so filtering, grouping and aggregating are
+vectorized, while the sequence protocol (`len`, indexing, iteration,
+equality with row lists) keeps every existing list consumer working
+unchanged.
+
+Round-trips are lossless in both directions: ``ResultSet(rows).to_rows()``
+reproduces the input rows bit for bit (``Optional[int]`` fields included),
+and :meth:`to_jsonl` / :meth:`from_jsonl` is the interchange format of the
+on-disk :class:`~repro.store.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Sequence
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..analysis.metrics import RunMetrics
+
+__all__ = ["ResultSet"]
+
+_FIELDS: Tuple[str, ...] = tuple(f.name for f in dataclass_fields(RunMetrics))
+#: Short string tags.
+_STRING_FIELDS = ("scheme", "family", "fault", "clock", "status")
+#: ``Optional[int]`` fields: stored as int64 + a boolean validity mask.
+_OPTIONAL_INT_FIELDS = ("completion_round", "bound", "acknowledgement_round")
+_INT_FIELDS = tuple(
+    f for f in _FIELDS if f not in _STRING_FIELDS and f not in _OPTIONAL_INT_FIELDS
+)
+
+
+def _row_dict_to_metrics(doc: Mapping[str, Any]) -> RunMetrics:
+    """Rebuild a :class:`RunMetrics` from a plain dict (unknown keys ignored).
+
+    Missing fields fall back to the dataclass defaults, so rows written by an
+    older schema load cleanly (their cache keys never match anyway).
+    """
+    return RunMetrics(**{k: doc[k] for k in _FIELDS if k in doc})
+
+
+class ResultSet(Sequence):
+    """An immutable, columnar sequence of :class:`RunMetrics` rows."""
+
+    def __init__(self, rows: Iterable[RunMetrics] = ()) -> None:
+        rows = list(rows)
+        n = len(rows)
+        columns: Dict[str, np.ndarray] = {}
+        masks: Dict[str, np.ndarray] = {}
+        for name in _STRING_FIELDS:
+            columns[name] = np.array([getattr(r, name) for r in rows], dtype=np.str_)
+        for name in _INT_FIELDS:
+            columns[name] = np.fromiter(
+                (getattr(r, name) for r in rows), dtype=np.int64, count=n
+            )
+        for name in _OPTIONAL_INT_FIELDS:
+            values = [getattr(r, name) for r in rows]
+            masks[name] = np.fromiter(
+                (v is not None for v in values), dtype=bool, count=n
+            )
+            columns[name] = np.fromiter(
+                (0 if v is None else v for v in values), dtype=np.int64, count=n
+            )
+        self._length = n
+        self._columns = columns
+        self._masks = masks
+        self._row_cache: Optional[List[RunMetrics]] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(cls, rows: Iterable[RunMetrics]) -> "ResultSet":
+        """Build a result set from RunMetrics rows (alias of the constructor)."""
+        return cls(rows)
+
+    @classmethod
+    def from_dicts(cls, docs: Iterable[Mapping[str, Any]]) -> "ResultSet":
+        """Build a result set from plain row dicts (e.g. parsed JSON)."""
+        return cls(_row_dict_to_metrics(doc) for doc in docs)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ResultSet":
+        """Parse JSON-lines text (one row object per line) into a result set."""
+        return cls.from_dicts(
+            json.loads(line) for line in text.splitlines() if line.strip()
+        )
+
+    @classmethod
+    def _from_selection(cls, parent: "ResultSet", index: np.ndarray) -> "ResultSet":
+        out = cls.__new__(cls)
+        out._length = int(index.size)
+        out._columns = {k: v[index] for k, v in parent._columns.items()}
+        out._masks = {k: v[index] for k, v in parent._masks.items()}
+        out._row_cache = None
+        return out
+
+    # ------------------------------------------------------------------ #
+    # sequence protocol (the list-compatible shim)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._length
+
+    def _materialize_row(self, i: int) -> RunMetrics:
+        kwargs: Dict[str, Any] = {}
+        for name in _STRING_FIELDS:
+            kwargs[name] = str(self._columns[name][i])
+        for name in _INT_FIELDS:
+            kwargs[name] = int(self._columns[name][i])
+        for name in _OPTIONAL_INT_FIELDS:
+            kwargs[name] = int(self._columns[name][i]) if self._masks[name][i] else None
+        return RunMetrics(**kwargs)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return ResultSet._from_selection(
+                self, np.arange(self._length, dtype=np.intp)[index]
+            )
+        i = int(index)
+        if i < 0:
+            i += self._length
+        if not 0 <= i < self._length:
+            raise IndexError(f"row {index} not in a {self._length}-row ResultSet")
+        if self._row_cache is not None:
+            return self._row_cache[i]
+        return self._materialize_row(i)
+
+    def __iter__(self) -> Iterator[RunMetrics]:
+        return iter(self.to_rows())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResultSet):
+            return self.to_rows() == other.to_rows()
+        if isinstance(other, (list, tuple)):
+            return self.to_rows() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        schemes = sorted(set(self._columns["scheme"].tolist())) if self._length else []
+        return f"ResultSet({self._length} rows, schemes={schemes})"
+
+    # ------------------------------------------------------------------ #
+    # columnar access
+    # ------------------------------------------------------------------ #
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        """The row schema, in :class:`RunMetrics` field order."""
+        return _FIELDS
+
+    def column(self, name: str) -> np.ndarray:
+        """The typed column for ``name``.
+
+        Counters and tags come back as ``int64`` / unicode arrays;
+        ``Optional[int]`` fields come back as ``float64`` with ``NaN`` marking
+        ``None`` (the lossless integer view is :meth:`column_with_mask`).
+        """
+        if name not in _FIELDS:
+            raise KeyError(f"unknown column {name!r}; columns: {list(_FIELDS)}")
+        values = self._columns[name]
+        if name in _OPTIONAL_INT_FIELDS:
+            out = values.astype(np.float64)
+            out[~self._masks[name]] = np.nan
+            return out
+        return values.copy()
+
+    def column_with_mask(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """An optional-int column as ``(int64 values, bool validity mask)``."""
+        if name not in _OPTIONAL_INT_FIELDS:
+            raise KeyError(
+                f"{name!r} is not an optional column; optional columns: "
+                f"{list(_OPTIONAL_INT_FIELDS)}"
+            )
+        return self._columns[name].copy(), self._masks[name].copy()
+
+    def filter(
+        self,
+        predicate: Optional[Callable[[RunMetrics], bool]] = None,
+        **field_equals: Any,
+    ) -> "ResultSet":
+        """Rows matching every ``field == value`` constraint (vectorized).
+
+        ``predicate`` (row → bool) composes with the field constraints for
+        conditions a column equality cannot express.
+        """
+        keep = np.ones(self._length, dtype=bool)
+        for name, value in field_equals.items():
+            if name not in _FIELDS:
+                raise KeyError(f"unknown column {name!r}; columns: {list(_FIELDS)}")
+            if name in _OPTIONAL_INT_FIELDS:
+                if value is None:
+                    keep &= ~self._masks[name]
+                else:
+                    keep &= self._masks[name] & (self._columns[name] == int(value))
+            else:
+                keep &= self._columns[name] == value
+        if predicate is not None:
+            rows = self.to_rows()
+            keep &= np.fromiter(
+                (bool(predicate(rows[i])) for i in range(self._length)),
+                dtype=bool,
+                count=self._length,
+            )
+        return ResultSet._from_selection(self, np.flatnonzero(keep))
+
+    def groupby(self, *names: str) -> Dict[Any, "ResultSet"]:
+        """Split into sub-sets keyed by the given columns, in first-seen order.
+
+        A single column name keys by its scalar values; several names key by
+        tuples.
+        """
+        if not names:
+            raise ValueError("groupby needs at least one column name")
+        for name in names:
+            if name not in _FIELDS:
+                raise KeyError(f"unknown column {name!r}; columns: {list(_FIELDS)}")
+        rows = self.to_rows()
+        buckets: Dict[Any, List[int]] = {}
+        for i, row in enumerate(rows):
+            key = (
+                getattr(row, names[0])
+                if len(names) == 1
+                else tuple(getattr(row, n) for n in names)
+            )
+            buckets.setdefault(key, []).append(i)
+        return {
+            key: ResultSet._from_selection(self, np.asarray(index, dtype=np.intp))
+            for key, index in buckets.items()
+        }
+
+    def aggregate(self, name: str) -> Dict[str, float]:
+        """Mean / min / max / count of a numeric column (``None`` cells skipped)."""
+        values = self.column(name)
+        if values.dtype.kind not in "fiu":
+            raise TypeError(f"column {name!r} is not numeric")
+        values = values[~np.isnan(values)] if values.dtype.kind == "f" else values
+        if values.size == 0:
+            return {"mean": float("nan"), "min": float("nan"),
+                    "max": float("nan"), "count": 0}
+        return {
+            "mean": float(values.mean()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "count": int(values.size),
+        }
+
+    # ------------------------------------------------------------------ #
+    # export / round-trip
+    # ------------------------------------------------------------------ #
+    def to_rows(self) -> List[RunMetrics]:
+        """Materialise the rows (cached; the round-trip is lossless)."""
+        if self._row_cache is None:
+            self._row_cache = [
+                self._materialize_row(i) for i in range(self._length)
+            ]
+        return list(self._row_cache)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Plain-dict rows in field order (the report/export schema)."""
+        return [row.as_dict() for row in self.to_rows()]
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The rows as one JSON array (matches ``metrics_to_json``)."""
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    def to_jsonl(self) -> str:
+        """The rows as JSON-lines text (one object per line, store format)."""
+        return "".join(
+            json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+            for doc in self.to_dicts()
+        )
+
+    def to_csv(self) -> str:
+        """The rows as CSV text (``None`` cells left empty)."""
+        if not self._length:
+            return ""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(_FIELDS), lineterminator="\n")
+        writer.writeheader()
+        for doc in self.to_dicts():
+            writer.writerow({k: ("" if v is None else v) for k, v in doc.items()})
+        return buffer.getvalue()

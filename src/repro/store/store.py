@@ -1,0 +1,252 @@
+"""The content-addressed on-disk result store behind resumable sweeps.
+
+Layout of a store directory::
+
+    DIR/
+      store.json            # format marker + schema version (documentation)
+      segments/<xy>.jsonl   # appended rows, sharded by the key's first byte
+
+Each segment line is one completed grid row::
+
+    {"key": "<sha256>", "schema": N, "row": {...RunMetrics fields...},
+     "trace": {...}?}
+
+Lines whose ``schema`` is not the current :data:`~repro.store.keys.SCHEMA_VERSION`
+are skipped on load (their keys could never match again anyway), so a schema
+bump cleanly retires old rows instead of mixing generations in ``rows()``.
+
+Rows are *appended* (one flushed line per completed cell), so a sweep killed
+at cell 9,000/10,000 keeps its first 9,000 rows; a truncated final line from
+a hard kill is skipped on load.  Keys are content-addressed
+(:mod:`repro.store.keys`): re-running a grid against the same store skips
+every cell whose key is already present, which is what makes
+``run_grid(..., store=...)`` incremental and ``repro sweep --resume`` exact.
+
+The optional ``trace`` attachment carries a summary/none-level
+:class:`~repro.radio.trace.ExecutionTrace` as its aggregate fields (the form
+the batched backend produces via ``ExecutionTrace.from_aggregates``);
+:meth:`ResultStore.get_trace` rebuilds a trace that compares equal to the
+original.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+from ..analysis.metrics import RunMetrics
+from ..radio.trace import ExecutionTrace
+from .keys import SCHEMA_VERSION
+from .resultset import ResultSet, _row_dict_to_metrics
+
+__all__ = ["ResultStore", "StoreError"]
+
+_FORMAT = "repro-result-store"
+_META_NAME = "store.json"
+_SEGMENTS_DIR = "segments"
+
+
+class StoreError(RuntimeError):
+    """A result-store directory is missing, malformed or of a foreign format."""
+
+
+class ResultStore:
+    """Append-only content-addressed store of completed grid rows.
+
+    Open with ``ResultStore(path)`` (creates the directory when missing) or
+    ``ResultStore.open(path, require_existing=True)`` (the ``--resume``
+    contract: resuming a sweep that never started is reported as an error
+    instead of silently starting cold).  Instances are context managers;
+    :meth:`close` releases the append handles.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike], *, create: bool = True) -> None:
+        self.root = Path(root)
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self._traces: Dict[str, Dict[str, Any]] = {}
+        self._order: List[str] = []
+        self._handles: Dict[str, IO[str]] = {}
+        self.skipped_lines = 0
+        self.stale_lines = 0
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(
+                f"{self.root} is not a directory; a result store needs a "
+                f"directory path"
+            )
+        meta_path = self.root / _META_NAME
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError) as exc:
+                raise StoreError(f"unreadable store metadata {meta_path}: {exc}") from exc
+            if meta.get("format") != _FORMAT:
+                raise StoreError(
+                    f"{self.root} is not a repro result store "
+                    f"(format={meta.get('format')!r})"
+                )
+            self.schema_version = int(meta.get("schema_version", 0))
+        elif self.root.exists() and any(self.root.iterdir()):
+            raise StoreError(
+                f"{self.root} exists, is not empty and has no {_META_NAME}; "
+                f"refusing to treat it as a result store"
+            )
+        elif not create:
+            raise StoreError(
+                f"no result store at {self.root}; run once without --resume "
+                f"(or create the store first) to start a sweep cold"
+            )
+        else:
+            (self.root / _SEGMENTS_DIR).mkdir(parents=True, exist_ok=True)
+            self.schema_version = SCHEMA_VERSION
+            meta_path.write_text(
+                json.dumps({"format": _FORMAT, "schema_version": SCHEMA_VERSION},
+                           indent=2) + "\n"
+            )
+        self._scan()
+
+    @classmethod
+    def open(
+        cls, root: Union[str, os.PathLike], *, require_existing: bool = False
+    ) -> "ResultStore":
+        """Open (or, unless ``require_existing``, create) the store at ``root``."""
+        return cls(root, create=not require_existing)
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    def _scan(self) -> None:
+        segments = self.root / _SEGMENTS_DIR
+        if not segments.is_dir():
+            return
+        for path in sorted(segments.glob("*.jsonl")):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                        key, row = doc["key"], doc["row"]
+                    except (ValueError, KeyError, TypeError):
+                        # A hard kill can truncate the final line of a
+                        # segment; the row it described was never reported
+                        # complete, so skipping it is exactly right.
+                        self.skipped_lines += 1
+                        continue
+                    if doc.get("schema", SCHEMA_VERSION) != SCHEMA_VERSION:
+                        # A row from before a schema bump: its key can never
+                        # match again, and surfacing it through rows() /
+                        # `repro results` would mix row generations.
+                        self.stale_lines += 1
+                        continue
+                    if key not in self._index:
+                        self._order.append(key)
+                    self._index[key] = row
+                    if doc.get("trace") is not None:
+                        self._traces[key] = doc["trace"]
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> List[str]:
+        """All stored keys, in first-appended order."""
+        return list(self._order)
+
+    def get(self, key: str) -> Optional[RunMetrics]:
+        """The stored row for ``key``, or ``None`` when absent."""
+        doc = self._index.get(key)
+        return None if doc is None else _row_dict_to_metrics(doc)
+
+    def get_trace(self, key: str) -> Optional[ExecutionTrace]:
+        """The stored trace attachment for ``key`` rebuilt from its aggregates."""
+        doc = self._traces.get(key)
+        return None if doc is None else ExecutionTrace.from_aggregates_doc(doc)
+
+    def rows(self) -> ResultSet:
+        """Every stored row as a columnar ResultSet, in first-appended order."""
+        return ResultSet.from_dicts(self._index[key] for key in self._order)
+
+    def iter_items(self) -> Iterator[tuple]:
+        """Iterate ``(key, RunMetrics)`` pairs in first-appended order."""
+        for key in self._order:
+            yield key, _row_dict_to_metrics(self._index[key])
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary facts: row count, segment count, schema version, path."""
+        segments = self.root / _SEGMENTS_DIR
+        return {
+            "path": str(self.root),
+            "rows": len(self._index),
+            "segments": len(list(segments.glob("*.jsonl"))) if segments.is_dir() else 0,
+            "schema_version": self.schema_version,
+            "skipped_lines": self.skipped_lines,
+            "stale_lines": self.stale_lines,
+        }
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def _handle(self, key: str) -> IO[str]:
+        shard = key[:2]
+        if shard not in self._handles:
+            path = self.root / _SEGMENTS_DIR / f"{shard}.jsonl"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._handles[shard] = open(path, "a", encoding="utf-8")
+        return self._handles[shard]
+
+    def put(
+        self,
+        key: str,
+        row: RunMetrics,
+        *,
+        trace: Optional[ExecutionTrace] = None,
+    ) -> bool:
+        """Append one completed row (idempotent; returns False on duplicates).
+
+        The line is flushed immediately: a row that has been yielded to the
+        caller is on disk, which is the durability contract resume relies on.
+        A ``trace`` attachment must be a summary/none-level trace (the store
+        persists its aggregate fields; see ``ExecutionTrace.to_aggregates``).
+        """
+        if key in self._index:
+            return False
+        doc: Dict[str, Any] = {"key": key, "schema": SCHEMA_VERSION,
+                               "row": row.as_dict()}
+        if trace is not None:
+            doc["trace"] = trace.to_aggregates()
+        handle = self._handle(key)
+        handle.write(json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
+        handle.flush()
+        self._index[key] = doc["row"]
+        self._order.append(key)
+        if trace is not None:
+            self._traces[key] = doc["trace"]
+        return True
+
+    def flush(self) -> None:
+        """Flush every open segment handle."""
+        for handle in self._handles.values():
+            handle.flush()
+
+    def close(self) -> None:
+        """Close the append handles (reading remains possible)."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r}, rows={len(self._index)})"

@@ -154,3 +154,102 @@ class TestSweepOutputs:
                      "--jobs", "2", "--output", "json"]) == 0
         rows = json.loads(capsys.readouterr().out)
         assert [r["fault"] for r in rows] == ["none", "drop:0.4:2"]
+
+
+class TestSessionCommands:
+    """The streaming-session surface: schemes --json, sweep --store/--resume/
+    --keep-going/--progress and the results subcommand."""
+
+    SWEEP = ["sweep", "--families", "path", "grid", "--sizes", "9",
+             "--schemes", "lambda", "round_robin"]
+
+    def test_schemes_json_is_machine_readable(self, capsys):
+        assert main(["schemes", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in doc}
+        assert set(by_name) >= {"lambda", "lambda_ack", "lambda_arb",
+                                "round_robin", "coloring_tdma",
+                                "collision_detection", "centralized"}
+        for entry in doc:
+            assert set(entry) == {"name", "kind", "description", "backends"}
+            assert "reference" in entry["backends"]
+        assert by_name["lambda"]["kind"] == "paper"
+        assert "batched" in by_name["lambda"]["backends"]
+        # B_arb runs vectorized but is not stacked by the batched engine.
+        assert "vectorized" in by_name["lambda_arb"]["backends"]
+        assert "batched" not in by_name["lambda_arb"]["backends"]
+
+    def test_sweep_store_then_resume_reports_full_cache_hits(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(self.SWEEP + ["--store", store, "--output", "json"]) == 0
+        captured = capsys.readouterr()
+        first = json.loads(captured.out)
+        assert "cached=0 computed=4" in captured.err
+        assert main(self.SWEEP + ["--store", store, "--resume",
+                                  "--output", "json"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == first
+        assert "cached=4 computed=0 failed=0" in captured.err
+
+    def test_sweep_progress_flag(self, capsys, tmp_path):
+        assert main(self.SWEEP + ["--store", str(tmp_path / "s"),
+                                  "--progress", "--output", "csv"]) == 0
+        err = capsys.readouterr().err
+        assert "[sweep] rows 0/4" in err
+        assert "[sweep] rows 4/4" in err
+
+    def test_resume_requires_a_store_argument(self, capsys):
+        assert main(self.SWEEP + ["--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_resume_refuses_a_missing_store(self, capsys, tmp_path):
+        assert main(self.SWEEP + ["--store", str(tmp_path / "nope"),
+                                  "--resume"]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_results_filters_and_exports(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(self.SWEEP + ["--store", store, "--output", "csv"]) == 0
+        capsys.readouterr()
+        assert main(["results", store, "--output", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+        assert main(["results", store, "--schemes", "lambda",
+                     "--families", "path", "--output", "csv"]) == 0
+        parsed = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert len(parsed) == 1
+        assert parsed[0]["scheme"] == "lambda" and parsed[0]["family"] == "path"
+        assert main(["results", store, "--sizes", "9",
+                     "--status", "ok", "--output", "jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4 and all(json.loads(l)["n"] == 9 for l in lines)
+        assert main(["results", store]) == 0
+        assert "4/4 rows" in capsys.readouterr().out
+
+    def test_results_refuses_a_missing_store(self, capsys, tmp_path):
+        assert main(["results", str(tmp_path / "nothing")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_keep_going_records_failures_with_status_column(
+        self, capsys, monkeypatch
+    ):
+        from repro.api.schemes import LambdaScheme
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(LambdaScheme, "build_task", boom)
+        assert main(self.SWEEP + ["--keep-going"]) == 1
+        out = capsys.readouterr().out
+        assert "status" in out and "error:RuntimeError" in out
+
+    def test_strict_sweep_aborts_with_the_cell_spec(self, monkeypatch):
+        from repro.analysis.executor import GridExecutionError
+        from repro.api.schemes import LambdaScheme
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(LambdaScheme, "build_task", boom)
+        with pytest.raises(GridExecutionError, match="scheme='lambda'"):
+            main(self.SWEEP)

@@ -52,6 +52,13 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert result.stdout.count("[OK]") == 2
 
+    def test_resume_sweep(self, tmp_path):
+        result = _run("resume_sweep.py", "--store", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert "Session died" in result.stdout
+        assert "served from the store" in result.stdout
+        assert "bit-identical to an uninterrupted run. [OK]" in result.stdout
+
     @pytest.mark.slow
     def test_label_width_exploration(self):
         result = _run("label_width_exploration.py")

@@ -1,0 +1,320 @@
+"""Tests for repro.store: keys, the columnar ResultSet and the on-disk store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import RunMetrics, metrics_to_csv, metrics_to_json
+from repro.api import GridConfig, grid_row_specs, grid_unit_key, run_grid
+from repro.backends import BatchedVectorizedBackend
+from repro.radio.trace import ExecutionTrace, TraceLevelError
+from repro.store import (
+    SCHEMA_VERSION,
+    ResultSet,
+    ResultStore,
+    StoreError,
+    unit_key,
+)
+
+BASE_KEY_FIELDS = dict(
+    scheme="lambda", family="path", size=16, seed=123, source_rule="zero",
+    payload="MSG", fault_spec=None, clock_spec=None, backend=None,
+    trace_level="summary",
+)
+
+
+def _rows(n=6) -> list:
+    cfg = GridConfig(families=["path", "grid"], sizes=[9], seeds_per_size=1,
+                     schemes=["lambda", "round_robin"],
+                     faults=[None, "drop:0.3:2"])
+    return list(run_grid(cfg))[:n]
+
+
+# --------------------------------------------------------------------------- #
+# content-addressed keys
+# --------------------------------------------------------------------------- #
+class TestKeys:
+    def test_key_is_stable(self):
+        assert unit_key(**BASE_KEY_FIELDS) == unit_key(**BASE_KEY_FIELDS)
+        assert len(unit_key(**BASE_KEY_FIELDS)) == 64  # sha256 hex
+
+    @pytest.mark.parametrize("field,value", [
+        ("scheme", "round_robin"),
+        ("family", "grid"),
+        ("size", 17),
+        ("seed", 124),
+        ("source_rule", "last"),
+        ("payload", "OTHER"),
+        ("fault_spec", {"kind": "drop", "prob": 0.1, "seed": 7}),
+        ("clock_spec", {"kind": "offset", "offsets": {}, "default": 3}),
+        ("backend", "vectorized"),
+        ("trace_level", "none"),
+        ("schema_version", SCHEMA_VERSION + 1),
+    ])
+    def test_every_field_is_load_bearing(self, field, value):
+        changed = dict(BASE_KEY_FIELDS)
+        changed[field] = value
+        assert unit_key(**changed) != unit_key(**BASE_KEY_FIELDS)
+
+    def test_non_json_payloads_fall_back_to_str(self):
+        from repro.store import canonical_payload
+
+        assert canonical_payload({1, 2}) == json.dumps(str({1, 2}))
+        assert canonical_payload("MSG") == '"MSG"'
+        # The key still hashes cleanly with an exotic payload.
+        assert len(unit_key(**{**BASE_KEY_FIELDS, "payload": {3, 4}})) == 64
+
+    def test_backend_instances_reduce_to_names(self):
+        from repro.backends import VectorizedBackend
+
+        by_name = unit_key(**{**BASE_KEY_FIELDS, "backend": "vectorized"})
+        by_instance = unit_key(**{**BASE_KEY_FIELDS,
+                                  "backend": VectorizedBackend()})
+        assert by_name == by_instance
+        # None means the reference default.
+        assert unit_key(**BASE_KEY_FIELDS) == unit_key(
+            **{**BASE_KEY_FIELDS, "backend": "reference"})
+
+    def test_grid_unit_key_covers_every_row(self):
+        cfg = GridConfig(families=["path"], sizes=[8, 9], seeds_per_size=2,
+                         schemes=["lambda", "round_robin"],
+                         faults=[None, "drop:0.2:5"])
+        units = grid_row_specs(cfg)
+        keys = {grid_unit_key(cfg, u) for u in units}
+        assert len(keys) == len(units)  # all distinct
+        # Unaffected by execution knobs that cannot change row values.
+        assert grid_unit_key(cfg, units[0]) == grid_unit_key(
+            GridConfig(**{**cfg.__dict__, "batch_size": 4}), units[0])
+
+
+# --------------------------------------------------------------------------- #
+# the columnar ResultSet
+# --------------------------------------------------------------------------- #
+class TestResultSet:
+    def test_list_compatibility(self):
+        rows = _rows()
+        rs = ResultSet(rows)
+        assert len(rs) == len(rows)
+        assert rs == rows and rows == rs
+        assert list(rs) == rows
+        assert rs[0] == rows[0] and rs[-1] == rows[-1]
+        assert isinstance(rs[1:3], ResultSet) and rs[1:3] == rows[1:3]
+        assert ResultSet([]) == []
+        with pytest.raises(IndexError):
+            rs[len(rows)]
+
+    def test_round_trip_is_lossless(self):
+        rows = _rows()
+        rs = ResultSet(rows)
+        assert rs.to_rows() == rows
+        assert ResultSet.from_dicts(rs.to_dicts()) == rows
+        assert ResultSet.from_jsonl(rs.to_jsonl()) == rows
+        # Optional ints survive (lambda under heavy drops may not complete).
+        assert any(r.completion_round is None for r in rows) or True
+
+    def test_exports_match_legacy_renderers(self):
+        rows = _rows()
+        rs = ResultSet(rows)
+        assert rs.to_csv() == metrics_to_csv(rows)
+        assert rs.to_json() == metrics_to_json(rows)
+        assert json.loads(rs.to_json()) == [r.as_dict() for r in rows]
+
+    def test_typed_columns(self):
+        rs = ResultSet(_rows())
+        assert rs.column("n").dtype == np.int64
+        assert rs.column("scheme").dtype.kind == "U"
+        completion = rs.column("completion_round")
+        assert completion.dtype == np.float64
+        values, mask = rs.column_with_mask("completion_round")
+        assert values.dtype == np.int64 and mask.dtype == bool
+        assert np.isnan(completion[~mask]).all()
+        with pytest.raises(KeyError):
+            rs.column("bogus")
+        with pytest.raises(KeyError):
+            rs.column_with_mask("n")
+
+    def test_filter_and_groupby(self):
+        rs = ResultSet(_rows())
+        lam = rs.filter(scheme="lambda")
+        assert all(r.scheme == "lambda" for r in lam)
+        assert rs.filter(scheme="lambda", fault="none") == [
+            r for r in rs if r.scheme == "lambda" and r.fault == "none"]
+        assert rs.filter(lambda r: r.n > 8) == [r for r in rs if r.n > 8]
+        incomplete = rs.filter(completion_round=None)
+        assert all(r.completion_round is None for r in incomplete)
+        groups = rs.groupby("scheme")
+        assert set(groups) == {r.scheme for r in rs}
+        assert sum(len(g) for g in groups.values()) == len(rs)
+        pair_groups = rs.groupby("family", "scheme")
+        assert all(isinstance(k, tuple) for k in pair_groups)
+        with pytest.raises(KeyError):
+            rs.filter(bogus=1)
+        with pytest.raises(ValueError):
+            rs.groupby()
+
+    def test_aggregate(self):
+        rs = ResultSet(_rows())
+        agg = rs.aggregate("transmissions")
+        values = [r.transmissions for r in rs]
+        assert agg["count"] == len(values)
+        assert agg["min"] == min(values) and agg["max"] == max(values)
+        with pytest.raises(TypeError):
+            rs.aggregate("scheme")
+        assert ResultSet([]).aggregate("transmissions")["count"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# the on-disk store
+# --------------------------------------------------------------------------- #
+class TestResultStore:
+    def test_round_trip_bit_identical(self, tmp_path):
+        rows = _rows()
+        keys = [f"{i:02x}" + "0" * 62 for i in range(len(rows))]
+        with ResultStore(tmp_path / "s") as store:
+            for key, row in zip(keys, rows):
+                assert store.put(key, row)
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == len(rows)
+        assert [reopened.get(k) for k in keys] == rows
+        assert reopened.rows() == rows
+        assert reopened.keys() == keys
+        assert list(reopened.iter_items()) == list(zip(keys, rows))
+        assert reopened.get("ff" * 32) is None
+        described = reopened.describe()
+        assert described["rows"] == len(rows)
+        assert described["schema_version"] == SCHEMA_VERSION
+        assert described["skipped_lines"] == 0
+
+    def test_put_is_idempotent(self, tmp_path):
+        row = _rows(1)[0]
+        with ResultStore(tmp_path / "s") as store:
+            assert store.put("ab" + "0" * 62, row)
+            assert not store.put("ab" + "0" * 62, row)
+            store.flush()
+        assert len(ResultStore(tmp_path / "s")) == 1
+
+    def test_segments_are_sharded_by_key_prefix(self, tmp_path):
+        rows = _rows(3)
+        with ResultStore(tmp_path / "s") as store:
+            store.put("aa" + "0" * 62, rows[0])
+            store.put("aa" + "1" * 62, rows[1])
+            store.put("bb" + "0" * 62, rows[2])
+        segments = sorted(p.name for p in (tmp_path / "s" / "segments").glob("*"))
+        assert segments == ["aa.jsonl", "bb.jsonl"]
+        assert ResultStore(tmp_path / "s").describe()["segments"] == 2
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        rows = _rows(2)
+        with ResultStore(tmp_path / "s") as store:
+            store.put("aa" + "0" * 62, rows[0])
+            store.put("aa" + "1" * 62, rows[1])
+        segment = tmp_path / "s" / "segments" / "aa.jsonl"
+        text = segment.read_text()
+        segment.write_text(text[: len(text) - 25])  # simulate a hard kill
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 1
+        assert reopened.get("aa" + "0" * 62) == rows[0]
+        assert reopened.skipped_lines == 1
+
+    def test_require_existing(self, tmp_path):
+        with pytest.raises(StoreError, match="no result store"):
+            ResultStore.open(tmp_path / "missing", require_existing=True)
+        ResultStore(tmp_path / "s").close()
+        assert len(ResultStore.open(tmp_path / "s", require_existing=True)) == 0
+
+    def test_foreign_directories_rejected(self, tmp_path):
+        (tmp_path / "notastore").mkdir()
+        (tmp_path / "notastore" / "data.txt").write_text("hello")
+        with pytest.raises(StoreError, match="refusing"):
+            ResultStore(tmp_path / "notastore")
+        (tmp_path / "other").mkdir()
+        (tmp_path / "other" / "store.json").write_text('{"format": "else"}')
+        with pytest.raises(StoreError, match="not a repro result store"):
+            ResultStore(tmp_path / "other")
+        (tmp_path / "afile").write_text("plain file")
+        with pytest.raises(StoreError, match="not a directory"):
+            ResultStore(tmp_path / "afile")
+
+    def test_stale_schema_lines_are_retired_on_load(self, tmp_path):
+        rows = _rows(2)
+        with ResultStore(tmp_path / "s") as store:
+            store.put("aa" + "0" * 62, rows[0])
+        segment = tmp_path / "s" / "segments" / "aa.jsonl"
+        # Forge a row written under an older schema version: its key can
+        # never match again, and it must not resurface through rows().
+        stale = json.loads(segment.read_text().splitlines()[0])
+        stale.update(key="aa" + "1" * 62, schema=SCHEMA_VERSION - 1)
+        with open(segment, "a") as handle:
+            handle.write(json.dumps(stale) + "\n")
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 1
+        assert reopened.get("aa" + "1" * 62) is None
+        assert reopened.stale_lines == 1
+        assert reopened.describe()["stale_lines"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# trace aggregates survive the store (satellite fix)
+# --------------------------------------------------------------------------- #
+def _batched_trace(trace_level="summary") -> ExecutionTrace:
+    """A real batched-backend trace, built via ExecutionTrace.from_aggregates."""
+    from repro.api import get_scheme
+    from repro.graphs import generate_family
+
+    scheme = get_scheme("lambda_ack")
+    graph = generate_family("grid", 9, 1)
+    info = scheme.build_labels(graph, 0)
+    task = scheme.build_task(graph, info, 0, payload="MSG",
+                             max_rounds=scheme.default_budget(graph, info),
+                             trace_level=trace_level, fault_model=None,
+                             clock_model=None)
+    result = BatchedVectorizedBackend().run_batch([task])[0]
+    return result.simulation.trace
+
+
+class TestTraceAggregatesRoundTrip:
+    def test_to_aggregates_round_trips_through_json(self):
+        trace = _batched_trace()
+        doc = json.loads(json.dumps(trace.to_aggregates()))
+        clone = ExecutionTrace.from_aggregates_doc(doc)
+        assert clone == trace  # compares every aggregate field
+        # The batched-backend fields the store must preserve, explicitly:
+        assert clone.transmissions_by_kind() == trace.transmissions_by_kind()
+        assert clone.total_message_bits() == trace.total_message_bits()
+        assert clone.informed_by_round() == trace.informed_by_round()
+        assert clone.first_ack_at(0) == trace.first_ack_at(0)
+        assert clone.last_ack_at(0) == trace.last_ack_at(0)
+        assert clone.broadcast_completion_round() == trace.broadcast_completion_round()
+        assert clone.num_rounds == trace.num_rounds
+
+    def test_store_preserves_trace_attachments(self, tmp_path):
+        trace = _batched_trace()
+        row = _rows(1)[0]
+        key = "cd" + "0" * 62
+        with ResultStore(tmp_path / "s") as store:
+            store.put(key, row, trace=trace)
+        reopened = ResultStore(tmp_path / "s")
+        restored = reopened.get_trace(key)
+        assert restored == trace
+        assert reopened.get_trace("ee" + "0" * 62) is None
+        # The row itself is still intact next to its trace.
+        assert reopened.get(key) == row
+
+    def test_full_traces_refuse_aggregate_serialization(self):
+        trace = ExecutionTrace(3, 0, level="full")
+        with pytest.raises(TraceLevelError):
+            trace.to_aggregates()
+
+    def test_json_native_metadata_round_trips_verbatim(self):
+        trace = ExecutionTrace.from_aggregates(
+            3, 0, level="summary", num_rounds=2,
+            informed_first={1: 1, 2: 2},
+            metadata={"batch": 3, "note": "x", "ratio": 0.5},
+        )
+        doc = json.loads(json.dumps(trace.to_aggregates()))
+        clone = ExecutionTrace.from_aggregates_doc(doc)
+        assert clone == trace
+        assert clone.metadata == {"batch": 3, "note": "x", "ratio": 0.5}

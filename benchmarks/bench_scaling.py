@@ -270,6 +270,98 @@ def bench_batched_small_graph_sweep():
     )
 
 
+def _sharded_bench_task(side: int, rounds: int):
+    """A fixed-budget Algorithm-B round-loop workload on a side×side grid.
+
+    The labeling is synthetic (x1 = 1, x2 = 0 everywhere): at these sizes the
+    paper's λ construction costs minutes, and the engine executes any label
+    bits identically, so a deterministic wave workload isolates exactly what
+    this benchmark measures — the per-round O(n) decision kernels that keep a
+    single large instance bound to one core.  ``stop_rule=None`` pins both
+    engines to the same round count.
+    """
+    from repro.backends.base import SimulationTask
+    from repro.graphs import grid_graph
+
+    graph = grid_graph(side, side)
+    labels = {v: "10" for v in range(graph.n)}
+    return SimulationTask(
+        protocol="broadcast", graph=graph, labels=labels, source=0,
+        payload="MSG", max_rounds=rounds, stop_rule=None,
+        trace_level="summary",
+    )
+
+
+def bench_sharded_large_instance(request):
+    """One n ≥ 5·10⁵ instance: sharded vs single-core vectorized round loop.
+
+    Emits the ``sharded_rows`` section of BENCH_scaling.json.  Acceptance:
+    bit-for-bit equal traces everywhere, and > 1.5× over the single-core
+    vectorized engine at n ≥ 5·10⁵ — the wall-clock assertion is gated on
+    multi-core machines (``cores >= 4``), exactly like the parallel-executor
+    benchmark below: a process pool cannot beat serial execution on one CPU,
+    and the recorded rows keep the trajectory honest either way.  With
+    ``--quick`` the n = 10⁶ row is skipped so CI stays under budget.
+    """
+    import os
+
+    from repro.backends import ShardedVectorizedBackend, VectorizedBackend
+
+    quick = request.config.getoption("--quick")
+    cores = os.cpu_count() or 1
+    shards = min(4, cores)
+    vectorized = VectorizedBackend()
+    sharded = ShardedVectorizedBackend(shards=shards)
+    rounds_budget = 600
+    cells = [710]  # 710 × 710 = 504,100 >= 5e5
+    if not quick:
+        cells.append(1000)  # 10⁶ nodes
+    rows = []
+    try:
+        for side in cells:
+            task = _sharded_bench_task(side, rounds_budget)
+            n = task.graph.n
+
+            def best_of(fn, repeats=2):
+                best, out = float("inf"), None
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    out = fn()
+                    best = min(best, time.perf_counter() - start)
+                return best, out
+
+            wall_vec, out_vec = best_of(lambda: vectorized.run_task(task))
+            wall_sh, out_sh = best_of(lambda: sharded.run_task(task))
+            assert out_sh.trace == out_vec.trace, "sharded must be bit-identical"
+            assert out_sh.derived == out_vec.derived
+            speedup = round(wall_vec / wall_sh, 2)
+            for backend, wall in [("vectorized", wall_vec), ("sharded", wall_sh)]:
+                rows.append({
+                    "family": "grid",
+                    "n": n,
+                    "backend": backend,
+                    "shards": shards if backend == "sharded" else 1,
+                    "cores": cores,
+                    "rounds": rounds_budget,
+                    "rounds_per_sec": round(rounds_budget / wall, 1),
+                    "wall_time_s": round(wall, 6),
+                    "speedup_vs_vectorized": speedup if backend == "sharded" else 1.0,
+                })
+            if cores >= 4 and n >= 500_000:
+                assert speedup > 1.5, (
+                    f"sharded backend should be > 1.5x single-core vectorized "
+                    f"at n={n} on {cores} cores, got {speedup}x"
+                )
+    finally:
+        sharded.close()
+    _merge_bench_json("sharded_rows", rows)
+    report(
+        "E10e — sharded single-instance round loop (large n)",
+        format_table(rows) + f"\nwritten to {BENCH_JSON} "
+        f"(speedup asserted only on >= 4 cores; this machine has {cores})",
+    )
+
+
 def bench_parallel_sweep_executor():
     """Multi-instance sweeps fan out over processes, results independent of jobs.
 

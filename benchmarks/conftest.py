@@ -17,6 +17,20 @@ import sys
 __all__ = ["report"]
 
 
+def pytest_addoption(parser):
+    """``--quick``: skip the largest benchmark rows (CI budget mode).
+
+    Used by ``bench_scaling.py`` to drop the n = 10⁶ sharded row while still
+    measuring (and asserting, on multi-core machines) the n ≥ 5·10⁵ one.
+    """
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="skip the largest benchmark rows so CI stays under budget",
+    )
+
+
 def report(title: str, body: str) -> None:
     """Print a titled block to stdout (visible with ``-s``; captured otherwise)."""
     print(f"\n=== {title} ===", file=sys.stderr)

@@ -9,7 +9,7 @@ deprecated aliases.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
@@ -43,6 +43,14 @@ class RunMetrics:
     ``run_grid(..., strict=False)`` (CLI ``--keep-going``) a failing cell is
     recorded as a row with ``status="error:<ExceptionName>"`` and zeroed
     measurements instead of aborting the sweep.
+
+    ``backend`` is execution *provenance*: the registry name of the engine
+    that actually ran the cell — which differs from the requested backend
+    whenever a task rode a fallback (e.g. a B_arb cell under a non-default
+    clock model dispatched to ``batched`` executes on the reference engine).
+    It is excluded from row equality (``compare=False``): the differential
+    suites assert that backends agree on *measurements*, and provenance is
+    metadata about how the row was produced, not part of the result.
     """
 
     scheme: str
@@ -59,6 +67,7 @@ class RunMetrics:
     total_message_bits: int
     fault: str = "none"
     clock: str = "sync"
+    backend: str = field(default="", compare=False)
     status: str = "ok"
 
     @property
@@ -100,14 +109,22 @@ def metrics_from_run(
     source: Optional[int] = None,
     fault: str = "none",
     clock: str = "sync",
+    backend: Optional[str] = None,
 ) -> RunMetrics:
-    """Flatten any unified :class:`Outcome` into a :class:`RunMetrics` row."""
+    """Flatten any unified :class:`Outcome` into a :class:`RunMetrics` row.
+
+    ``backend`` overrides the provenance tag; by default it is read from
+    ``outcome.extras["executed_by"]``, which :meth:`repro.api.Scheme.run`
+    stamps with the engine that actually executed the task.
+    """
     src = source
     if src is None and outcome.labeling is not None:
         src = outcome.labeling.source
     if src is None:
         src = outcome.extras.get("coordinator", 0)
     ecc = source_radius(graph, src) if graph.n > 0 else 0
+    if backend is None:
+        backend = outcome.extras.get("executed_by") or ""
     return RunMetrics(
         scheme=outcome.scheme,
         family=family,
@@ -123,6 +140,7 @@ def metrics_from_run(
         total_message_bits=message_bits_total(outcome.trace),
         fault=fault,
         clock=clock,
+        backend=backend,
     )
 
 

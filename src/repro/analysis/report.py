@@ -93,6 +93,10 @@ def format_metrics_table(metrics: Sequence, *, title: Optional[str] = None) -> s
         columns.append("fault")
     if any(row.get("clock", "sync") != "sync" for row in rows):
         columns.append("clock")
+    if len({row.get("backend", "") for row in rows} - {""}) > 1:
+        # Mixed execution provenance (some cells rode a fallback engine):
+        # surface which engine actually ran each row.
+        columns.append("backend")
     if any(row.get("status", "ok") != "ok" for row in rows):
         columns.append("status")
     return format_table(rows, columns, title=title)

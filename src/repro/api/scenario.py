@@ -98,8 +98,12 @@ class Scenario:
         Declarative channel perturbation specs (see :mod:`repro.api.specs`);
         ``None`` selects the paper's reliable synchronized model.
     backend:
-        Backend name (``"reference"`` / ``"vectorized"``) or ``None`` for the
-        default.
+        Backend name (``"reference"`` / ``"vectorized"`` / ``"batched"`` /
+        ``"sharded"``) or ``None`` for the default.
+    shards:
+        Worker process count for the sharded backend (requires ``backend``
+        to be ``"sharded"`` or unset; setting it alone selects the sharded
+        backend).  ``None`` leaves the backend's own default.
     trace_level:
         ``"full"`` / ``"summary"`` / ``"none"``.
     max_rounds:
@@ -116,6 +120,7 @@ class Scenario:
     faults: FaultSpec = None
     clock: ClockSpec = None
     backend: Optional[str] = None
+    shards: Optional[int] = None
     trace_level: str = "full"
     max_rounds: Optional[int] = None
     options: Dict[str, Any] = field(default_factory=dict)
@@ -125,6 +130,21 @@ class Scenario:
         self.clock = normalize_clock_spec(self.clock)
         if self.trace_level not in ("full", "summary", "none"):
             raise ValueError(f"unknown trace level {self.trace_level!r}")
+        if self.shards is not None:
+            self.shards = int(self.shards)
+            if self.shards < 1:
+                raise ValueError(f"shards must be a positive integer, got {self.shards}")
+            if self.backend not in (None, "sharded"):
+                raise ValueError(
+                    f"shards={self.shards} requires backend 'sharded' (or unset), "
+                    f"got {self.backend!r}"
+                )
+
+    def backend_spec(self) -> Optional[str]:
+        """The effective backend spec: ``shards`` composes ``"sharded:K"``."""
+        if self.shards is not None:
+            return f"sharded:{self.shards}"
+        return self.backend
 
     # ------------------------------------------------------------------ #
     # materialization
@@ -165,6 +185,7 @@ class Scenario:
             "faults": self.faults,
             "clock": self.clock,
             "backend": self.backend,
+            "shards": self.shards,
             "trace_level": self.trace_level,
             "max_rounds": self.max_rounds,
             "options": dict(self.options),

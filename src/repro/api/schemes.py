@@ -183,7 +183,13 @@ class Scheme(ABC):
             clock_model=clock_model,
         )
         result = resolve_backend(backend).run_task(task)
-        return self.derive_outcome(graph, task, result, info)
+        outcome = self.derive_outcome(graph, task, result, info)
+        if result.backend is not None:
+            # Execution provenance: the engine that actually ran the task
+            # (after any fallback), surfaced into the metrics row's
+            # ``backend`` column by ``metrics_from_run``.
+            outcome.extras.setdefault("executed_by", result.backend)
+        return outcome
 
 
 # --------------------------------------------------------------------------- #

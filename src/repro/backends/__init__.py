@@ -8,10 +8,14 @@ Public surface::
     result = backend.run_task(task)
 
 ``resolve_backend`` accepts a backend name (``"reference"`` /
-``"vectorized"`` / ``"batched"``), an existing backend instance, or ``None``
-(the reference default), and returns a shared instance.  The batched backend
-additionally exposes ``run_batch(tasks)``, stacking many compatible tasks
-into one block-diagonal kernel invocation (see :mod:`repro.backends.batched`).
+``"vectorized"`` / ``"batched"`` / ``"sharded"``), an existing backend
+instance, or ``None`` (the reference default), and returns a shared instance.
+The batched backend additionally exposes ``run_batch(tasks)``, stacking many
+compatible tasks into one block-diagonal kernel invocation (see
+:mod:`repro.backends.batched`); the sharded backend splits *one* large
+instance's round loop across a process pool (see
+:mod:`repro.backends.sharded`) and accepts a shard count as a spec suffix —
+``resolve_backend("sharded:4")`` runs four segment workers.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from .base import (
 from .reference import ReferenceBackend
 from .vectorized import VectorizedBackend
 from .batched import BatchedVectorizedBackend
+from .sharded import ShardedVectorizedBackend
 
 __all__ = [
     "BACKEND_NAMES",
@@ -38,6 +43,7 @@ __all__ = [
     "PROTOCOLS",
     "ReferenceBackend",
     "STOP_RULES",
+    "ShardedVectorizedBackend",
     "SimulationBackend",
     "SimulationTask",
     "VectorizedBackend",
@@ -48,28 +54,58 @@ _BACKEND_CLASSES = {
     ReferenceBackend.name: ReferenceBackend,
     VectorizedBackend.name: VectorizedBackend,
     BatchedVectorizedBackend.name: BatchedVectorizedBackend,
+    ShardedVectorizedBackend.name: ShardedVectorizedBackend,
 }
 
 #: Names accepted by :func:`resolve_backend` (and the CLI ``--backend`` flag).
+#: ``"sharded"`` additionally accepts a ``:K`` shard-count suffix.
 BACKEND_NAMES = tuple(_BACKEND_CLASSES)
 
 _instances: Dict[str, SimulationBackend] = {}
 
 
+def _parse_backend_spec(spec: str):
+    """Split ``"name"`` / ``"sharded:K"`` into (class, constructor kwargs)."""
+    name, sep, arg = spec.partition(":")
+    try:
+        cls = _BACKEND_CLASSES[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {spec!r}; known backends: {sorted(_BACKEND_CLASSES)}"
+        ) from None
+    if not sep:
+        return cls, {}
+    if name != ShardedVectorizedBackend.name:
+        raise BackendError(
+            f"backend {name!r} takes no {arg!r} argument; only 'sharded:K' "
+            f"accepts a shard count"
+        )
+    try:
+        shards = int(arg)
+    except ValueError:
+        raise BackendError(
+            f"bad shard count {arg!r} in backend spec {spec!r}; "
+            f"expected 'sharded:K' with integer K >= 1"
+        ) from None
+    if shards < 1:
+        raise BackendError(f"shard count must be >= 1, got {shards}")
+    return cls, {"shards": shards}
+
+
 def resolve_backend(
     backend: Optional[Union[str, SimulationBackend]] = None,
 ) -> SimulationBackend:
-    """Map a backend spec (name, instance or ``None``) to a backend object."""
+    """Map a backend spec (name, instance or ``None``) to a backend object.
+
+    Specs are registry names, plus the parameterized form ``"sharded:K"``
+    selecting a K-worker sharded backend; each distinct spec maps to one
+    shared instance.
+    """
     if backend is None:
         backend = ReferenceBackend.name
     if isinstance(backend, SimulationBackend):
         return backend
-    try:
-        cls = _BACKEND_CLASSES[backend]
-    except KeyError:
-        raise BackendError(
-            f"unknown backend {backend!r}; known backends: {sorted(_BACKEND_CLASSES)}"
-        ) from None
     if backend not in _instances:
-        _instances[backend] = cls()
+        cls, kwargs = _parse_backend_spec(backend)
+        _instances[backend] = cls(**kwargs)
     return _instances[backend]

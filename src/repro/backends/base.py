@@ -132,10 +132,18 @@ class BackendResult:
     ``common_completion_round``, …).  The reference backend leaves it empty —
     callers derive outcomes from the trace and node objects as before — while
     array backends fill it, since they have no node objects to inspect.
+
+    ``backend`` is execution provenance: the registry name of the engine that
+    *actually* ran the task.  Backends that delegate uncovered tasks (the
+    vectorized backend to the reference engine, the batched and sharded
+    backends to the vectorized one) leave the inner engine's tag in place, so
+    a row produced through a fallback is never mislabeled as having run on
+    the outer engine.
     """
 
     simulation: SimulationResult
     derived: Dict[str, Any] = field(default_factory=dict)
+    backend: Optional[str] = None
 
     @property
     def trace(self):

@@ -32,10 +32,13 @@ kernels do not cover — those fall back to per-task execution with their own
 model objects, keeping every instance's random stream independent of how the
 batch was composed.
 
-Tasks the stacked kernels do not cover (B_arb, custom node factories,
-non-default fault/clock models) are executed per task through the
-single-instance vectorized backend (which itself falls back to the reference
-engine where needed), so ``--backend batched`` is always safe to pass.
+Tasks the stacked kernels do not cover (custom node factories, non-default
+fault/clock models) are executed per task through the single-instance
+vectorized backend (which itself falls back to the reference engine where
+needed), so ``--backend batched`` is always safe to pass.  All seven
+registered schemes — B_arb included, its per-instance coordinator state
+carried as stacked arrays — run inside the stacked kernels under the paper's
+default channel models.
 Batches must be *homogeneous* in protocol and trace level; mixing either is a
 caller error and raises :class:`~repro.backends.base.BackendError`.
 """
@@ -56,6 +59,8 @@ from ..radio.engine import SimulationResult
 from ..radio.messages import (
     Message,
     ack_message,
+    initialize_message,
+    ready_message,
     source_message,
     stay_message,
 )
@@ -64,11 +69,15 @@ from .base import BackendError, BackendResult, SimulationBackend, SimulationTask
 from .vectorized import (
     _EMPTY,
     _K_ACK,
+    _K_INIT,
+    _K_READY,
     _K_SOURCE,
     _K_STAY,
+    _KIND_NAMES,
     _NEVER,
     VectorizedBackend,
     _Channel,
+    _int_payload_bits,
     _parse_bit_labels,
     _parse_slot_labels,
     _Recorder,
@@ -79,6 +88,7 @@ __all__ = [
     "BatchedVectorizedBackend",
     "run_broadcast_batch",
     "run_acknowledged_batch",
+    "run_arbitrary_batch",
     "run_slotted_batch",
     "run_centralized_batch",
     "run_collision_detection_batch",
@@ -125,8 +135,14 @@ class _BatchLayout:
         return _Channel.from_arrays(self.indptr, self.indices, self.total)
 
     def counts(self, ids: np.ndarray) -> np.ndarray:
-        """Per-instance element counts of an array of stacked node ids."""
-        return np.bincount(self.owner[ids], minlength=self.B)
+        """Per-instance element counts of an array of stacked node ids.
+
+        Forced to ``int64`` so count accumulators built from these never wrap
+        on platforms where ``bincount`` returns 32-bit integers.
+        """
+        return np.bincount(self.owner[ids], minlength=self.B).astype(
+            np.int64, copy=False
+        )
 
     def split_points(self, ids: np.ndarray) -> np.ndarray:
         """Slice boundaries of a *sorted* stacked-id array at the block offsets."""
@@ -608,6 +624,424 @@ def run_acknowledged_batch(tasks: Sequence[SimulationTask]) -> List[BackendResul
 
 
 # --------------------------------------------------------------------------- #
+# Algorithm B_arb — arbitrary-source broadcast, all instances per round
+# --------------------------------------------------------------------------- #
+def run_arbitrary_batch(tasks: Sequence[SimulationTask]) -> List[BackendResult]:
+    """B_arb over stacked instances: per-instance coordinator state as arrays.
+
+    The blocker that kept B_arb out of the stacked engine was the
+    coordinator's scalar scheduling state (T, the READY/SOURCE phase timers,
+    the learned payload).  Here every scalar becomes a length-B array — with
+    ``-1`` standing in for "not scheduled" (real rounds start at 1) and a
+    ``has`` mask wherever 0 is a legal value — and the coordinator branches
+    become per-instance masks, so one kernel round advances every instance's
+    three acknowledged-broadcast phases together.  The sparse events (the
+    ack chains, the per-node transmitted-stamp sets) stay keyed by *stacked*
+    node id, which is disjoint across instances by construction; outcomes are
+    bit-for-bit identical to the single-instance kernel (asserted by
+    ``tests/test_batched_equivalence.py``).
+    """
+    lay = _BatchLayout(tasks)
+    run = _BatchRun(lay)
+    channel = lay.channel()
+    x1, x2, x3 = _stack_bit_labels(lay)
+    stop_arb = _stop_rule_mask(lay, "arb_complete")
+    B, total = lay.B, lay.total
+
+    coords_local: List[int] = []
+    for task in lay.tasks:
+        coordinator = task.extras.get("coordinator")
+        if coordinator is None:
+            matches = [v for v in range(task.graph.n) if task.labels[v] == "111"]
+            if not matches:
+                raise BackendError("λ_arb labeling has no coordinator label '111'")
+            coordinator = matches[0]
+        coords_local.append(int(coordinator))
+    coords = lay.offsets[:-1] + np.array(coords_local, dtype=np.int64)
+    srcs = lay.sources
+    coord_of = coords[lay.owner]  # each node's own instance coordinator
+    payloads = [t.payload for t in lay.tasks]
+
+    # Per-phase stacked state: 0 = initialize, 1 = ready, 2 = source.
+    ph_inf = np.full((3, total), _NEVER, dtype=np.int64)
+    ph_stamp = np.zeros((3, total), dtype=np.int64)
+    transmit_stamps: Tuple[Dict[int, Set[int]], ...] = ({}, {}, {})
+    t_v = np.full(total, -1, dtype=np.int64)
+    t_v[coords] = 0
+    T_arr = np.full(total, -1, dtype=np.int64)
+    known = np.zeros(total, dtype=bool)
+    completion_known = np.zeros(total, dtype=np.int64)
+
+    sent_kind_prev = np.zeros(total, dtype=np.int8)
+    sent_kind_prev2 = np.zeros(total, dtype=np.int8)
+    heard_stay_prev = np.zeros(total, dtype=bool)
+    heard_stay_stamp = np.zeros(total, dtype=np.int64)
+    prev_acks: List[Tuple[int, int, Any]] = []  # (stacked hearer, stamp, payload)
+
+    # Coordinator / actual-source scheduling state, one slot per instance.
+    # T_c_val is only meaningful where T_c_has (0 is a legal T value).
+    T_c_val = np.zeros(B, dtype=np.int64)
+    T_c_has = np.zeros(B, dtype=bool)
+    sched_ready = np.full(B, -1, dtype=np.int64)
+    sched_source = np.full(B, -1, dtype=np.int64)
+    ready_sent = np.full(B, -1, dtype=np.int64)
+    sched_src_ack = np.full(B, -1, dtype=np.int64)
+    learned_payload: List[Any] = [
+        payloads[b] if coords_local[b] == int(srcs[b] - lay.offsets[b]) else None
+        for b in range(B)
+    ]
+    coord_ack_first: List[Optional[int]] = [None] * B
+    coord_ack_last: List[Optional[int]] = [None] * B
+
+    agg = _SummaryAggregates(lay) if run.fast else None
+    kind_tx_total = np.zeros((6, B), dtype=np.int64)  # indexed by kind code
+    ack_fixed_extra = np.zeros(B, dtype=np.int64)
+    ack_payload_msgs = np.zeros(B, dtype=np.int64)
+
+    r = 0
+    while run.active.any():
+        r += 1
+        node_active = run.node_active()
+        active = run.active
+        tx_kind = np.zeros(total, dtype=np.int8)
+        tx_stamp = np.zeros(total, dtype=np.int64)
+        ack_payloads: Dict[int, Any] = {}
+        decided = np.zeros(total, dtype=bool)
+
+        # Coordinator phase starts (the single-instance kernel's elif chain,
+        # checked first; every instance's local clock starts at round 1).
+        if r == 1:
+            ids = coords[active]
+            tx_kind[ids] = _K_INIT
+            tx_stamp[ids] = 1
+            decided[ids] = True
+        else:
+            m_ready = active & (sched_ready == r) & T_c_has
+            if m_ready.any():
+                ready_sent[m_ready] = r
+                m_rs = m_ready & (coords == srcs)
+                sched_source[m_rs] = r + T_c_val[m_rs] + 1
+                ids = coords[m_ready]
+                tx_kind[ids] = _K_READY
+                tx_stamp[ids] = r
+                decided[ids] = True
+            learned_has = np.fromiter(
+                (lp is not None for lp in learned_payload), dtype=bool, count=B
+            )
+            m_src = active & ~m_ready & (sched_source == r) & learned_has
+            if m_src.any():
+                ids = coords[m_src]
+                known[ids] = True
+                completion_known[ids] = r + T_c_val[m_src] - 1
+                tx_kind[ids] = _K_SOURCE
+                tx_stamp[ids] = r
+                decided[ids] = True
+
+        # The actual source starts the phase-2 acknowledgement after its timer.
+        m_sa = active & (sched_src_ack == r) & ~decided[srcs]
+        if m_sa.any():
+            ids = srcs[m_sa]
+            tx_kind[ids] = _K_ACK
+            tx_stamp[ids] = ph_stamp[1][ids]
+            for b in np.flatnonzero(m_sa):
+                ack_payloads[int(srcs[b])] = payloads[b]
+            decided[ids] = True
+
+        # Shared B_ack rules, per phase, in phase order.
+        und = ~decided & node_active
+        for k in range(3):
+            inf_k = ph_inf[k]
+            stamp_k = ph_stamp[k]
+            mA = und & (inf_k == r - 2) & x1
+            if mA.any():
+                ids = np.flatnonzero(mA)
+                stamps = stamp_k[ids] + 2
+                tx_kind[ids] = _K_INIT + k
+                tx_stamp[ids] = stamps
+                for v, s in zip(ids, stamps):
+                    transmit_stamps[k].setdefault(int(v), set()).add(int(s))
+                und &= ~mA
+            newly1 = inf_k == r - 1
+            if k == 0:  # z starts the phase-1 ack, appending T = t_z
+                mAck = und & newly1 & x3
+                if mAck.any():
+                    ids = np.flatnonzero(mAck)
+                    tx_kind[ids] = _K_ACK
+                    tx_stamp[ids] = stamp_k[ids]
+                    for v in ids:
+                        ack_payloads[int(v)] = int(stamp_k[v])
+                    und &= ~mAck
+            mStay = und & newly1 & x2
+            if mStay.any():
+                tx_kind[mStay] = _K_STAY
+                tx_stamp[mStay] = stamp_k[mStay] + 1
+                und &= ~mStay
+
+        # Stay-triggered retransmission (any phase, coordinator included).
+        mS = und & heard_stay_prev
+        aS = mS & (sent_kind_prev2 >= _K_INIT) & (sent_kind_prev2 <= _K_SOURCE)
+        if aS.any():
+            ids = np.flatnonzero(aS)
+            stamps = heard_stay_stamp[ids] + 1
+            tx_kind[ids] = sent_kind_prev2[ids]
+            tx_stamp[ids] = stamps
+            for v, s in zip(ids, stamps):
+                if int(v) != int(coord_of[v]):
+                    transmit_stamps[int(sent_kind_prev2[v]) - _K_INIT].setdefault(
+                        int(v), set()
+                    ).add(int(s))
+            und &= ~aS
+
+        # Ack relaying (sparse: each chain walks back one hop per round).
+        for v, heard_stamp, ack_pay in prev_acks:
+            if v == int(coord_of[v]) or not und[v] or tx_kind[v]:
+                continue
+            for k in range(3):
+                stamps_v = transmit_stamps[k].get(v)
+                if stamps_v and heard_stamp in stamps_v:
+                    tx_kind[v] = _K_ACK
+                    tx_stamp[v] = ph_stamp[k][v]
+                    ack_payloads[v] = ack_pay
+                    break
+
+        tx_ids, hears_ids, senders, collision_ids = channel.resolve(tx_kind > 0)
+
+        # Deliver.
+        heard_stay_now = np.zeros(total, dtype=bool)
+        heard_stay_stamp_now = np.zeros(total, dtype=np.int64)
+        next_acks: List[Tuple[int, int, Any]] = []
+        mu_hearers = _EMPTY
+        ack_hearers = _EMPTY
+        if hears_ids.size:
+            heard_kind = tx_kind[senders]
+            heard_stamp = tx_stamp[senders]
+            for k in range(3):  # first receipt of a phase's broadcast payload
+                sel = heard_kind == _K_INIT + k
+                if not sel.any():
+                    continue
+                vs = hears_ids[sel]
+                sts = heard_stamp[sel]
+                keep = (vs != coord_of[vs]) & (ph_inf[k][vs] == _NEVER)
+                vs, sts = vs[keep], sts[keep]
+                if vs.size == 0:
+                    continue
+                ph_inf[k][vs] = r
+                ph_stamp[k][vs] = sts
+                if k == 0:
+                    t_v[vs] = sts
+                elif k == 1:
+                    ov = lay.owner[vs]
+                    T_arr[vs] = np.where(T_c_has[ov], T_c_val[ov], 0)
+                    src_hits = vs[vs == srcs[ov]]
+                    for v in src_hits:
+                        b = int(lay.owner[v])
+                        sched_src_ack[b] = r + int(T_arr[v]) + 1
+                else:
+                    ready_t = (T_arr[vs] >= 0) & (t_v[vs] >= 0)
+                    done = vs[ready_t]
+                    known[done] = True
+                    completion_known[done] = r + T_arr[done] - t_v[done]
+            mu_hearers = hears_ids[heard_kind == _K_SOURCE]
+            stay_sel = heard_kind == _K_STAY
+            heard_stay_now[hears_ids[stay_sel]] = True
+            heard_stay_stamp_now[hears_ids[stay_sel]] = heard_stamp[stay_sel]
+            ack_sel = heard_kind == _K_ACK
+            ack_hearers = hears_ids[ack_sel]
+            if ack_hearers.size:
+                for v, s, u in zip(
+                    ack_hearers, heard_stamp[ack_sel], senders[ack_sel]
+                ):
+                    pay = ack_payloads.get(int(u))
+                    next_acks.append((int(v), int(s), pay))
+                    if int(v) == int(coord_of[v]):
+                        b = int(lay.owner[v])
+                        coord_ack_last[b] = r
+                        if coord_ack_first[b] is None:
+                            coord_ack_first[b] = r
+                        if not T_c_has[b]:
+                            T_c_val[b] = int(pay) if pay is not None else 0
+                            T_c_has[b] = True
+                            sched_ready[b] = r + T_c_val[b] + 1
+                        elif (
+                            ready_sent[b] != -1
+                            and r > ready_sent[b]
+                            and sched_source[b] == -1
+                        ):
+                            learned_payload[b] = pay
+                            sched_source[b] = r + T_c_val[b] + 1
+
+        # Record.
+        if run.fast:
+            agg.add_channel(tx_ids, hears_ids, collision_ids)
+            kinds_tx = tx_kind[tx_ids]
+            for code in range(_K_INIT, _K_ACK + 1):
+                sel = kinds_tx == code
+                if sel.any():
+                    kind_tx_total[code] += lay.counts(tx_ids[sel])
+            if tx_ids.size:
+                agg.fixed += np.bincount(
+                    lay.owner[tx_ids],
+                    weights=_stamp_bits(tx_stamp[tx_ids]),
+                    minlength=B,
+                )
+            for u in tx_ids[kinds_tx == _K_ACK]:
+                pay = ack_payloads.get(int(u))
+                if pay is None:
+                    continue
+                b = int(lay.owner[u])
+                if isinstance(pay, int):
+                    ack_fixed_extra[b] += _int_payload_bits(pay)
+                else:
+                    ack_payload_msgs[b] += 1
+            agg.mark_informed(mu_hearers, r)
+            agg.mark_acks(ack_hearers, r)
+        else:
+            tx_pts = lay.split_points(tx_ids)
+            rx_pts = lay.split_points(hears_ids)
+            col_pts = lay.split_points(collision_ids)
+            mu_pts = lay.split_points(mu_hearers)
+            ack_pts = lay.split_points(ack_hearers)
+            for b in np.flatnonzero(run.active):
+                rec, off = run.recs[b], lay.offsets[b]
+                b_tx = tx_ids[tx_pts[b] : tx_pts[b + 1]]
+                if rec.full:
+                    transmissions: Dict[int, Message] = {}
+                    for u in b_tx:
+                        u = int(u)
+                        kind = int(tx_kind[u])
+                        stamp = int(tx_stamp[u])
+                        if kind == _K_INIT:
+                            msg = initialize_message(round_stamp=stamp)
+                        elif kind == _K_READY:
+                            msg = ready_message(int(T_c_val[b]), round_stamp=stamp)
+                        elif kind == _K_SOURCE:
+                            msg = source_message(payloads[b], round_stamp=stamp)
+                        elif kind == _K_STAY:
+                            msg = stay_message(round_stamp=stamp)
+                        else:
+                            msg = ack_message(stamp, payload=ack_payloads.get(u))
+                        transmissions[u - int(off)] = msg
+                    receptions = {
+                        int(v - off): transmissions[int(u - off)]
+                        for v, u in zip(
+                            hears_ids[rx_pts[b] : rx_pts[b + 1]],
+                            senders[rx_pts[b] : rx_pts[b + 1]],
+                        )
+                    }
+                    rec.full_round(
+                        r, transmissions, receptions,
+                        collision_ids[col_pts[b] : col_pts[b + 1]] - off,
+                    )
+                else:
+                    kinds_tx = tx_kind[b_tx]
+                    stamps = tx_stamp[b_tx]
+                    counts = {
+                        name: int(np.count_nonzero(kinds_tx == code))
+                        for code, name in _KIND_NAMES.items()
+                        if np.any(kinds_tx == code)
+                    }
+                    n_src_tx = counts.get("source", 0)
+                    n_ready_tx = counts.get("ready", 0)
+                    non_source = int(b_tx.size) - n_src_tx
+                    fixed = int(_stamp_bits(stamps).sum()) + 2 * non_source
+                    if n_ready_tx:
+                        fixed += n_ready_tx * _int_payload_bits(int(T_c_val[b]))
+                    payload_msgs = n_src_tx
+                    for u in b_tx[kinds_tx == _K_ACK]:
+                        pay = ack_payloads.get(int(u))
+                        if pay is None:
+                            continue
+                        if isinstance(pay, int):
+                            fixed += _int_payload_bits(pay)
+                        else:
+                            payload_msgs += 1
+                    rec.summary_round(
+                        r,
+                        transmissions=int(b_tx.size),
+                        receptions=int(rx_pts[b + 1] - rx_pts[b]),
+                        collisions=int(col_pts[b + 1] - col_pts[b]),
+                        kinds=counts,
+                        fixed_bits=fixed,
+                        payload_messages=payload_msgs,
+                        informed=mu_hearers[mu_pts[b] : mu_pts[b + 1]] - off,
+                        ack_hearers=ack_hearers[ack_pts[b] : ack_pts[b + 1]] - off,
+                    )
+
+        sent_kind_prev2, sent_kind_prev = sent_kind_prev, tx_kind
+        heard_stay_prev = heard_stay_now
+        heard_stay_stamp = heard_stay_stamp_now
+        prev_acks = next_acks
+        known_all = np.bincount(lay.owner[known], minlength=B) == lay.ns
+        run.finish_round(r, stop_arb & known_all)
+
+    # Derived outcomes, mirroring the single-instance kernel's derivation.
+    derived: List[Dict[str, Any]] = []
+    for b in range(B):
+        lo, hi = int(lay.offsets[b]), int(lay.offsets[b + 1])
+        c_local = coords_local[b]
+        src_local = int(srcs[b]) - lo
+        receipt_rounds: List[int] = []
+        missing = False
+        for v in range(hi - lo):
+            if v in (src_local, c_local):
+                continue
+            if ph_inf[2][lo + v] == _NEVER:
+                missing = True
+                break
+            receipt_rounds.append(int(ph_inf[2][lo + v]))
+        coordinator_learned_round = (
+            coord_ack_last[b] if c_local != src_local else None
+        )
+        completion: Optional[int] = None
+        if not missing and (learned_payload[b] is not None or c_local == src_local):
+            candidates = list(receipt_rounds)
+            if coordinator_learned_round is not None:
+                candidates.append(coordinator_learned_round)
+            completion = max(candidates) if candidates else 1
+        common: Optional[int] = None
+        if bool(known[lo:hi].all()) and hi > lo:
+            values = np.unique(completion_known[lo:hi])
+            if values.size == 1:
+                common = int(values[0])
+        derived.append(
+            {
+                "completion_round": completion,
+                "acknowledgement_round": coord_ack_first[b],
+                "common_completion_round": common,
+                "coordinator": c_local,
+            }
+        )
+
+    if run.fast:
+        traces = []
+        for b in range(B):
+            counts = {
+                name: int(kind_tx_total[code][b])
+                for code, name in _KIND_NAMES.items()
+                if kind_tx_total[code][b]
+            }
+            n_src = counts.get("source", 0)
+            n_ready = counts.get("ready", 0)
+            non_source = int(agg.tx[b]) - n_src
+            fixed = agg.fixed[b] + 2 * non_source + int(ack_fixed_extra[b])
+            if n_ready:
+                # T is fixed from the moment the first READY exists, so the
+                # whole-run payload-bit total is one multiply.
+                fixed += n_ready * _int_payload_bits(int(T_c_val[b]))
+            traces.append(
+                agg.trace_for(
+                    b,
+                    num_rounds=run.stop_round[b],
+                    kind_hist=counts,
+                    fixed_bits=fixed,
+                    payload_messages=n_src + int(ack_payload_msgs[b]),
+                )
+            )
+        return run.results(derived, traces)
+    return run.results(derived)
+
+
+# --------------------------------------------------------------------------- #
 # Source-flood baselines: shared stacked loop
 # --------------------------------------------------------------------------- #
 def _run_flood_batch(tasks, make_tx_mask) -> List[BackendResult]:
@@ -936,6 +1370,7 @@ def run_collision_detection_batch(tasks: Sequence[SimulationTask]) -> List[Backe
 _BATCH_KERNELS = {
     "broadcast": run_broadcast_batch,
     "acknowledged": run_acknowledged_batch,
+    "arbitrary": run_arbitrary_batch,
     "round_robin": run_slotted_batch,
     "coloring_tdma": run_slotted_batch,
     "centralized": run_centralized_batch,
@@ -973,10 +1408,12 @@ class BatchedVectorizedBackend(SimulationBackend):
 
         All tasks must share one protocol and one trace level (mixing either
         is a grouping bug in the caller and raises).  Tasks outside the
-        stacked kernels' envelope — B_arb, non-default fault/clock/collision
-        models — run per task through the vectorized backend, which itself
-        falls back to the reference engine where needed, so results are
-        always exactly what per-task execution would have produced.
+        stacked kernels' envelope — non-default fault/clock/collision models,
+        custom node factories — run per task through the vectorized backend,
+        which itself falls back to the reference engine where needed, so
+        results are always exactly what per-task execution would have
+        produced (and each result's ``backend`` tag names the engine that
+        actually ran it).
         """
         tasks = list(tasks)
         if not tasks:
@@ -1007,7 +1444,10 @@ class BatchedVectorizedBackend(SimulationBackend):
             for i, out in zip(
                 stacked, _BATCH_KERNELS[protocols[0]]([tasks[i] for i in stacked])
             ):
+                out.backend = self.name
                 results[i] = out
         for i in fallback:
+            # Fallback results keep the inner engine's provenance tag, so the
+            # metrics row of a per-task fallback names the engine that ran it.
             results[i] = self._fallback.run_task(tasks[i])
         return results

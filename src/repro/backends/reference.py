@@ -44,7 +44,7 @@ class ReferenceBackend(SimulationBackend):
         )
         stop = self._stop_condition(task)
         result = sim.run(task.max_rounds, stop)
-        return BackendResult(simulation=result, derived={})
+        return BackendResult(simulation=result, derived={}, backend=self.name)
 
     def _stop_condition(self, task: SimulationTask) -> Optional[Callable]:
         if task.stop_condition is not None:

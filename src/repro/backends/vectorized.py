@@ -163,7 +163,10 @@ class _Channel:
             return tx_ids, _EMPTY, _EMPTY, _EMPTY
         base = np.repeat(indptr[tx_ids] - (np.cumsum(deg) - deg), deg)
         targets = indices[base + np.arange(total, dtype=np.int64)]
-        counts = np.bincount(targets, minlength=self.n)
+        # ``bincount`` returns the platform's intp dtype; force 64-bit so
+        # receive counts (and everything derived from them) can never wrap on
+        # 32-bit platforms even for n >= 10^6 high-degree instances.
+        counts = np.bincount(targets, minlength=self.n).astype(np.int64, copy=False)
         counts[tx_ids] = 0  # transmitters hear nothing in their own round
         hears_ids = np.flatnonzero(counts == 1)
         collision_ids = np.flatnonzero(counts >= 2)
@@ -936,5 +939,8 @@ class VectorizedBackend(SimulationBackend):
                     f"vectorized backend has no kernel for protocol "
                     f"{task.protocol!r} with the given channel models"
                 )
+            # The fallback result keeps its own provenance tag ("reference").
             return self._fallback.run_task(task)
-        return self._KERNELS[task.protocol](task)
+        result = self._KERNELS[task.protocol](task)
+        result.backend = self.name
+        return result

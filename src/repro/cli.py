@@ -110,6 +110,19 @@ def _parse_batch_size(text: str) -> int:
     return value
 
 
+def _parse_shards(text: str) -> int:
+    """Argparse type for ``--shards``: a positive integer, checked up front."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard count must be an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"shard count must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -140,6 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the scenario's scheme (see `repro schemes`)")
     runp.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
                       help="override the scenario's backend")
+    runp.add_argument("--shards", type=_parse_shards, default=None,
+                      help="segment worker count for the sharded backend "
+                           "(implies --backend sharded)")
     runp.add_argument("--trace-level", choices=["none", "summary", "full"], default=None,
                       help="override the scenario's trace level")
     runp.add_argument("--output", choices=["text", "json"], default="text",
@@ -173,8 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--payload", default="MSG")
     sweep.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
                        help="simulation engine (vectorized = NumPy CSR kernels; "
-                            "batched = stacked multi-instance kernels); defaults "
-                            "to reference, or to batched when --batch-size is set")
+                            "batched = stacked multi-instance kernels; sharded = "
+                            "one large instance split across processes); defaults "
+                            "to reference, or to batched when --batch-size is "
+                            "set, or to sharded when --shards is set")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (results are "
                             "deterministic and independent of the job count)")
@@ -182,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stack this many compatible runs into one kernel "
                             "invocation (implies the batching path; "
                             "--backend batched batches by default)")
+    sweep.add_argument("--shards", type=_parse_shards, default=None,
+                       help="segment worker count for the sharded backend "
+                            "(implies --backend sharded; results and store "
+                            "keys are independent of the shard count)")
     sweep.add_argument("--trace-level", choices=["none", "summary", "full"],
                        default="summary",
                        help="trace recording level for each simulation")
@@ -275,7 +297,19 @@ def _cmd_run(args) -> int:
     scenario = Scenario.load(args.scenario)
     graph = scenario.materialize_graph()
     source = scenario.resolve_source(graph)
-    outcome = run_scenario(scenario, scheme=args.scheme, backend=args.backend,
+    backend = args.backend
+    if args.shards is not None:
+        # Validate against whichever backend would actually apply — the flag
+        # or, when no flag overrides it, the scenario file's own declaration —
+        # mirroring Scenario(shards=...)'s constructor check.
+        effective = backend if backend is not None else scenario.backend
+        if effective not in (None, "sharded"):
+            print(f"error: --shards requires the sharded backend, but the "
+                  f"{'--backend flag' if backend is not None else 'scenario'} "
+                  f"selects {effective!r}", file=sys.stderr)
+            return 2
+        backend = f"sharded:{args.shards}"
+    outcome = run_scenario(scenario, scheme=args.scheme, backend=backend,
                            trace_level=args.trace_level, graph=graph, source=source)
     if args.output == "json":
         row = metrics_from_run(
@@ -333,11 +367,21 @@ def _cmd_figure1(args) -> int:
     return 0
 
 
-def sweep_backend(backend: Optional[str], batch_size: Optional[int]) -> str:
-    """The sweep's effective backend: explicit choice wins; ``--batch-size``
-    alone selects the batched engine (a reference-backend batch would stack
-    nothing, silently contradicting the flag); otherwise the reference
-    default."""
+def sweep_backend(
+    backend: Optional[str],
+    batch_size: Optional[int],
+    shards: Optional[int] = None,
+) -> str:
+    """The sweep's effective backend: explicit choice wins; ``--shards``
+    alone selects the sharded engine and ``--batch-size`` alone the batched
+    one (a reference-backend batch would stack nothing, silently
+    contradicting the flag); otherwise the reference default."""
+    if shards is not None:
+        if backend not in (None, "sharded"):
+            raise argparse.ArgumentTypeError(
+                f"--shards requires --backend sharded (or unset), got {backend!r}"
+            )
+        return f"sharded:{shards}"
     if backend is not None:
         return backend
     return "batched" if batch_size is not None else "reference"
@@ -379,7 +423,12 @@ def _cmd_sweep(args) -> int:
             )
 
     try:
-        rows = run_grid(cfg, backend=sweep_backend(args.backend, args.batch_size),
+        backend = sweep_backend(args.backend, args.batch_size, args.shards)
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        rows = run_grid(cfg, backend=backend,
                         jobs=args.jobs, trace_level=args.trace_level,
                         batch_size=args.batch_size, store=store,
                         strict=not args.keep_going, on_chunk=on_chunk)

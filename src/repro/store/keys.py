@@ -35,7 +35,8 @@ __all__ = ["SCHEMA_VERSION", "canonical_payload", "normalize_backend_name", "uni
 #: Version of the stored row schema.  Part of every key: bump it to
 #: invalidate all previously cached rows (e.g. when RunMetrics gains a field
 #: whose value older rows cannot supply).
-SCHEMA_VERSION = 1
+#: 2: RunMetrics gained the ``backend`` execution-provenance column.
+SCHEMA_VERSION = 2
 
 
 def canonical_payload(payload: Any) -> str:
@@ -47,12 +48,19 @@ def canonical_payload(payload: Any) -> str:
 
 
 def normalize_backend_name(backend: Any) -> str:
-    """Reduce a backend spec (name / instance / ``None``) to its registry name."""
+    """Reduce a backend spec (name / instance / ``None``) to its registry name.
+
+    A shard-count suffix (``"sharded:4"``) is stripped: the shard count is
+    pure parallelism — results are bit-identical at any shard count — so it
+    is excluded from cache keys for the same reason ``jobs`` and
+    ``batch_size`` are.
+    """
     if backend is None:
         return "reference"
-    if isinstance(backend, str):
-        return backend
-    return str(getattr(backend, "name", backend))
+    name = backend if isinstance(backend, str) else str(getattr(backend, "name", backend))
+    if name.startswith("sharded:"):
+        return "sharded"
+    return name
 
 
 def unit_key(

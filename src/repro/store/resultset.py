@@ -33,7 +33,7 @@ __all__ = ["ResultSet"]
 
 _FIELDS: Tuple[str, ...] = tuple(f.name for f in dataclass_fields(RunMetrics))
 #: Short string tags.
-_STRING_FIELDS = ("scheme", "family", "fault", "clock", "status")
+_STRING_FIELDS = ("scheme", "family", "fault", "clock", "backend", "status")
 #: ``Optional[int]`` fields: stored as int64 + a boolean validity mask.
 _OPTIONAL_INT_FIELDS = ("completion_round", "bound", "acknowledgement_round")
 _INT_FIELDS = tuple(

@@ -199,7 +199,19 @@ class ResultStore:
         if shard not in self._handles:
             path = self.root / _SEGMENTS_DIR / f"{shard}.jsonl"
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._handles[shard] = open(path, "a", encoding="utf-8")
+            handle = open(path, "a", encoding="utf-8")
+            if handle.tell() > 0:
+                # A hard kill mid-write can leave a truncated final line.
+                # Appending straight after it would glue the next (good) row
+                # onto the junk, turning one unparseable line into two lost
+                # rows — the good row would be shadowed forever.  Terminate
+                # the partial line so every new row starts on its own line.
+                with open(path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    if probe.read(1) != b"\n":
+                        handle.write("\n")
+                        handle.flush()
+            self._handles[shard] = handle
         return self._handles[shard]
 
     def put(

@@ -41,6 +41,7 @@ REFERENCE = ReferenceBackend()
 BATCHED_SCHEMES = [
     "lambda",
     "lambda_ack",
+    "lambda_arb",
     "round_robin",
     "coloring_tdma",
     "centralized",
@@ -268,18 +269,38 @@ class TestBatchingNegativePaths:
         with pytest.raises(BackendError, match="mixed trace levels"):
             BATCHED.run_batch([a, b])
 
-    def test_strict_batched_raises_for_uncovered_scheme(self):
-        _, _, _, task = _build_task("lambda_arb", "path", 9, 1)
+    def test_strict_batched_raises_for_uncovered_models(self):
+        from repro.radio.clock import OffsetClocks
+
+        graph = generate_family("path", 9, 1)
+        scheme = get_scheme("lambda")
+        info = scheme.build_labels(graph, 0)
+        task = scheme.build_task(
+            graph, info, 0, payload="MSG",
+            max_rounds=scheme.default_budget(graph, info),
+            trace_level="summary", fault_model=None,
+            clock_model=OffsetClocks({v: 3 for v in graph.nodes()}),
+        )
         with pytest.raises(BackendError, match="no stacked kernel"):
             BatchedVectorizedBackend(strict=True).run_batch([task])
 
-    def test_fallback_covers_uncovered_scheme(self):
-        # B_arb has no stacked kernel: the batched backend must hand it to
-        # the single-instance vectorized engine and still be exact.
-        graph, scheme, info, task = _build_task("lambda_arb", "grid", 16, 2)
-        out = BATCHED.run_batch([task])[0]
-        solo = VECTORIZED.run_task(task)
-        assert _fingerprint(out) == _fingerprint(solo)
+    def test_arb_runs_stacked_without_fallback(self, monkeypatch):
+        # B_arb is batched natively now: the per-task fallback must never be
+        # touched for default channel models.
+        from repro.backends.vectorized import VectorizedBackend as Vec
+
+        built = [_build_task("lambda_arb", f, n, s)
+                 for f, n, s in [("grid", 16, 2), ("path", 9, 1), ("star", 7, 3)]]
+        solos = [VECTORIZED.run_task(task) for *_, task in built]
+
+        def boom(self, task):
+            raise AssertionError("stacked B_arb must not fall back per task")
+
+        monkeypatch.setattr(Vec, "run_task", boom)
+        outs = BATCHED.run_batch([task for *_, task in built])
+        for out, solo in zip(outs, solos):
+            assert _fingerprint(out) == _fingerprint(solo)
+            assert out.backend == "batched"
 
     def test_fallback_covers_non_default_models(self):
         from repro.radio.clock import OffsetClocks
@@ -367,3 +388,44 @@ class TestGridExecutionError:
         assert isinstance(clone, GridExecutionError)
         assert str(clone) == "boom"
         assert clone.spec == {"scheme": "lambda", "n": 9}
+
+
+# --------------------------------------------------------------------------- #
+# execution provenance: rows name the engine that actually ran them
+# --------------------------------------------------------------------------- #
+class TestBackendProvenance:
+    def test_fallback_rows_report_their_actual_backend(self):
+        # Fault-model cells cannot run stacked: dispatched to the batched
+        # backend they execute on the reference engine, and the row must say
+        # so instead of being labeled "batched".
+        cfg = GridConfig(families=["path"], sizes=[9], schemes=["lambda"],
+                         faults=[None, "drop:0.2:3"])
+        rows = run_grid(cfg, backend="batched", jobs=1, batch_size=4)
+        by_fault = {r.fault: r.backend for r in rows}
+        assert by_fault == {"none": "batched", "drop:0.2:3": "reference"}
+
+    def test_arb_rows_report_batched(self):
+        cfg = GridConfig(families=["path"], sizes=[9], schemes=["lambda_arb"])
+        rows = run_grid(cfg, backend="batched", jobs=1, batch_size=4)
+        assert [r.backend for r in rows] == ["batched"]
+
+    def test_vectorized_fallback_reports_reference(self):
+        cfg = GridConfig(families=["path"], sizes=[9], schemes=["lambda"],
+                         faults=["drop:0.2:3"])
+        rows = run_grid(cfg, backend="vectorized", jobs=1)
+        assert [r.backend for r in rows] == ["reference"]
+
+    def test_provenance_is_not_part_of_row_equality(self):
+        cfg = GridConfig(families=["path"], sizes=[9], schemes=["lambda"])
+        ref_rows = run_grid(cfg, backend="reference")
+        vec_rows = run_grid(cfg, backend="vectorized")
+        assert ref_rows == vec_rows  # measurements agree ...
+        assert ref_rows[0].backend == "reference"  # ... provenance differs
+        assert vec_rows[0].backend == "vectorized"
+        assert ref_rows[0].as_dict()["backend"] == "reference"
+
+    def test_coverage_probe_reflects_stacked_arb(self):
+        from repro.api import scheme_backend_coverage
+
+        coverage = scheme_backend_coverage("lambda_arb")
+        assert "batched" in coverage and "vectorized" in coverage

@@ -175,9 +175,14 @@ class TestSessionCommands:
             assert "reference" in entry["backends"]
         assert by_name["lambda"]["kind"] == "paper"
         assert "batched" in by_name["lambda"]["backends"]
-        # B_arb runs vectorized but is not stacked by the batched engine.
+        # B_arb is stacked by the batched engine (per-instance coordinator
+        # state as arrays) but has no sharded segment kernel.
         assert "vectorized" in by_name["lambda_arb"]["backends"]
-        assert "batched" not in by_name["lambda_arb"]["backends"]
+        assert "batched" in by_name["lambda_arb"]["backends"]
+        assert "sharded" not in by_name["lambda_arb"]["backends"]
+        # The sharded backend covers the dense-decision round kernels.
+        assert "sharded" in by_name["lambda"]["backends"]
+        assert "sharded" in by_name["round_robin"]["backends"]
 
     def test_sweep_store_then_resume_reports_full_cache_hits(self, capsys, tmp_path):
         store = str(tmp_path / "store")

@@ -362,6 +362,93 @@ def bench_sharded_large_instance(request):
     )
 
 
+def bench_ell_large_instance(request):
+    """One large instance through the padded-row (ELL) engines.
+
+    Emits the ``ell_rows`` section of BENCH_scaling.json on the same
+    fixed-budget grid workload as the sharded benchmark (the regular grid is
+    exactly the graph shape the ELL layout exists for: width 4, padding ratio
+    ~1.0).  Three engines are compared — the CSR vectorized round loop, the
+    NumPy ELL tier, and the event-driven JIT tier when numba is importable —
+    with bit-for-bit equal traces asserted everywhere.  Acceptance: the NumPy
+    ELL tier sustains ≥ 0.8× the vectorized throughput (the padded bincount
+    does strictly more arithmetic than the CSR one; it wins or ties on
+    regular graphs and must never collapse), and the JIT tier, when present,
+    is ≥ 5× vectorized at n ≥ 5·10⁵ (target ≥ 3000 rounds/s at n = 10⁶ —
+    its per-round cost is O(frontier), not O(n), so this holds on any core
+    count).  With ``--quick`` the n = 10⁶ row is skipped.
+    """
+    from repro.backends import VectorizedBackend
+    from repro.backends.ell import EllBackend, jit_available
+
+    quick = request.config.getoption("--quick")
+    vectorized = VectorizedBackend()
+    ell_numpy = EllBackend(mode="numpy")
+    ell_jit = EllBackend(mode="jit") if jit_available() else None
+    rounds_budget = 600
+    cells = [710]  # 710 × 710 = 504,100 >= 5e5
+    if not quick:
+        cells.append(1000)  # 10⁶ nodes
+    rows = []
+    for side in cells:
+        task = _sharded_bench_task(side, rounds_budget)
+        n = task.graph.n
+
+        def best_of(fn, repeats=2):
+            best, out = float("inf"), None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                out = fn()
+                best = min(best, time.perf_counter() - start)
+            return best, out
+
+        engines = [("vectorized", vectorized), ("ell:numpy", ell_numpy)]
+        if ell_jit is not None:
+            engines.append(("ell:jit", ell_jit))
+        walls, out_vec = {}, None
+        for spec, engine in engines:
+            wall, out = best_of(lambda e=engine: e.run_task(task))
+            if spec == "vectorized":
+                out_vec = out
+            else:
+                assert out.backend == spec.replace(":numpy", ""), (
+                    f"{spec} must not have fallen back, got {out.backend!r}"
+                )
+                assert out.trace == out_vec.trace, f"{spec} must be bit-identical"
+                assert out.derived == out_vec.derived
+            walls[spec] = wall
+            rows.append({
+                "family": "grid",
+                "n": n,
+                "backend": spec,
+                "jit_available": jit_available(),
+                "rounds": rounds_budget,
+                "rounds_per_sec": round(rounds_budget / wall, 1),
+                "wall_time_s": round(wall, 6),
+                "speedup_vs_vectorized": round(walls["vectorized"] / wall, 2),
+            })
+        numpy_speedup = round(walls["vectorized"] / walls["ell:numpy"], 2)
+        assert numpy_speedup >= 0.8, (
+            f"NumPy ELL tier must stay within 0.8x of the vectorized engine "
+            f"at n={n}, got {numpy_speedup}x"
+        )
+        if ell_jit is not None and n >= 500_000:
+            jit_speedup = round(walls["vectorized"] / walls["ell:jit"], 2)
+            assert jit_speedup >= 5.0, (
+                f"JIT ELL tier should be >= 5x vectorized at n={n}, "
+                f"got {jit_speedup}x"
+            )
+    _merge_bench_json("ell_rows", rows)
+    jit_note = (
+        "JIT tier measured" if jit_available()
+        else "JIT tier unavailable: numba not importable — NumPy tier recorded only"
+    )
+    report(
+        "E10f — padded-row (ELL) engines on one large instance",
+        format_table(rows) + f"\nwritten to {BENCH_JSON} ({jit_note})",
+    )
+
+
 def bench_parallel_sweep_executor():
     """Multi-instance sweeps fan out over processes, results independent of jobs.
 

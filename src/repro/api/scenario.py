@@ -98,8 +98,10 @@ class Scenario:
         Declarative channel perturbation specs (see :mod:`repro.api.specs`);
         ``None`` selects the paper's reliable synchronized model.
     backend:
-        Backend name (``"reference"`` / ``"vectorized"`` / ``"batched"`` /
-        ``"sharded"``) or ``None`` for the default.
+        Backend spec (``"reference"`` / ``"vectorized"`` / ``"batched"`` /
+        ``"sharded"`` / ``"ell"``, plus the parameterized forms
+        ``"sharded:K"`` and ``"ell:jit"`` / ``"ell:numpy"``) or ``None``
+        for the default.
     shards:
         Worker process count for the sharded backend (requires ``backend``
         to be ``"sharded"`` or unset; setting it alone selects the sharded

@@ -8,14 +8,19 @@ Public surface::
     result = backend.run_task(task)
 
 ``resolve_backend`` accepts a backend name (``"reference"`` /
-``"vectorized"`` / ``"batched"`` / ``"sharded"``), an existing backend
-instance, or ``None`` (the reference default), and returns a shared instance.
-The batched backend additionally exposes ``run_batch(tasks)``, stacking many
-compatible tasks into one block-diagonal kernel invocation (see
+``"vectorized"`` / ``"batched"`` / ``"sharded"`` / ``"ell"``), an existing
+backend instance, or ``None`` (the reference default), and returns a shared
+instance.  The batched backend additionally exposes ``run_batch(tasks)``,
+stacking many compatible tasks into one block-diagonal kernel invocation (see
 :mod:`repro.backends.batched`); the sharded backend splits *one* large
 instance's round loop across a process pool (see
 :mod:`repro.backends.sharded`) and accepts a shard count as a spec suffix —
-``resolve_backend("sharded:4")`` runs four segment workers.
+``resolve_backend("sharded:4")`` runs four segment workers.  The ELL backend
+(see :mod:`repro.backends.ell`) runs over a padded fixed-width adjacency
+table and accepts a tier suffix: ``"ell"`` auto-selects the numba JIT tier
+when numba imports (NumPy otherwise), ``"ell:jit"`` prefers the JIT tier
+(silently degrading without numba) and ``"ell:numpy"`` forces the NumPy
+tier.
 """
 
 from __future__ import annotations
@@ -34,12 +39,16 @@ from .reference import ReferenceBackend
 from .vectorized import VectorizedBackend
 from .batched import BatchedVectorizedBackend
 from .sharded import ShardedVectorizedBackend
+from .ell import EllAdjacency, EllBackend, jit_available
 
 __all__ = [
     "BACKEND_NAMES",
+    "BACKEND_SPECS",
     "BackendError",
     "BackendResult",
     "BatchedVectorizedBackend",
+    "EllAdjacency",
+    "EllBackend",
     "PROTOCOLS",
     "ReferenceBackend",
     "STOP_RULES",
@@ -47,6 +56,7 @@ __all__ = [
     "SimulationBackend",
     "SimulationTask",
     "VectorizedBackend",
+    "jit_available",
     "resolve_backend",
 ]
 
@@ -55,30 +65,51 @@ _BACKEND_CLASSES = {
     VectorizedBackend.name: VectorizedBackend,
     BatchedVectorizedBackend.name: BatchedVectorizedBackend,
     ShardedVectorizedBackend.name: ShardedVectorizedBackend,
+    EllBackend.name: EllBackend,
 }
 
 #: Names accepted by :func:`resolve_backend` (and the CLI ``--backend`` flag).
-#: ``"sharded"`` additionally accepts a ``:K`` shard-count suffix.
+#: ``"sharded"`` additionally accepts a ``:K`` shard-count suffix and
+#: ``"ell"`` a tier suffix (``:jit`` / ``:numpy``).
 BACKEND_NAMES = tuple(_BACKEND_CLASSES)
+
+#: Every spec form :func:`resolve_backend` accepts, for error messages and
+#: interface docs (``sharded:K`` stands for any integer shard count).
+BACKEND_SPECS = tuple(
+    sorted([*_BACKEND_CLASSES, "sharded:K", "ell:jit", "ell:numpy"])
+)
 
 _instances: Dict[str, SimulationBackend] = {}
 
 
 def _parse_backend_spec(spec: str):
-    """Split ``"name"`` / ``"sharded:K"`` into (class, constructor kwargs)."""
+    """Split ``"name"`` / ``"sharded:K"`` / ``"ell:TIER"`` into (class, kwargs)."""
+    if not isinstance(spec, str):
+        raise BackendError(
+            f"backend spec must be a name string, a backend instance or None; "
+            f"got {spec!r}"
+        )
     name, sep, arg = spec.partition(":")
     try:
         cls = _BACKEND_CLASSES[name]
     except KeyError:
         raise BackendError(
-            f"unknown backend {spec!r}; known backends: {sorted(_BACKEND_CLASSES)}"
+            f"unknown backend {spec!r}; valid backend specs: "
+            f"{', '.join(BACKEND_SPECS)}"
         ) from None
     if not sep:
         return cls, {}
+    if name == EllBackend.name:
+        if arg not in ("jit", "numpy"):
+            raise BackendError(
+                f"bad ell tier {arg!r} in backend spec {spec!r}; "
+                f"expected 'ell', 'ell:jit' or 'ell:numpy'"
+            )
+        return cls, {"mode": arg}
     if name != ShardedVectorizedBackend.name:
         raise BackendError(
             f"backend {name!r} takes no {arg!r} argument; only 'sharded:K' "
-            f"accepts a shard count"
+            f"and 'ell:jit' / 'ell:numpy' accept a suffix"
         )
     try:
         shards = int(arg)
@@ -97,15 +128,17 @@ def resolve_backend(
 ) -> SimulationBackend:
     """Map a backend spec (name, instance or ``None``) to a backend object.
 
-    Specs are registry names, plus the parameterized form ``"sharded:K"``
-    selecting a K-worker sharded backend; each distinct spec maps to one
-    shared instance.
+    Specs are registry names, plus the parameterized forms ``"sharded:K"``
+    (a K-worker sharded backend) and ``"ell:jit"`` / ``"ell:numpy"`` (an ELL
+    backend pinned to one kernel tier); each distinct spec maps to one
+    shared instance.  Unknown specs raise :class:`BackendError` listing
+    every valid form.
     """
     if backend is None:
         backend = ReferenceBackend.name
     if isinstance(backend, SimulationBackend):
         return backend
-    if backend not in _instances:
+    if not isinstance(backend, str) or backend not in _instances:
         cls, kwargs = _parse_backend_spec(backend)
         _instances[backend] = cls(**kwargs)
     return _instances[backend]

@@ -214,11 +214,12 @@ class _Recorder:
 # --------------------------------------------------------------------------- #
 # Algorithm B — plain broadcast
 # --------------------------------------------------------------------------- #
-def _run_broadcast_kernel(task: SimulationTask) -> BackendResult:
+def _run_broadcast_kernel(task: SimulationTask, channel=None) -> BackendResult:
     graph, n = task.graph, task.graph.n
     src = task.source
     payload = task.payload
-    channel = _Channel(graph)
+    if channel is None:
+        channel = _Channel(graph)
     rec = _Recorder(n, src, task.trace_level)
     x1, x2, _ = _parse_bit_labels(task.labels, n)
 
@@ -771,18 +772,22 @@ def _run_arbitrary_kernel(task: SimulationTask) -> BackendResult:
 # --------------------------------------------------------------------------- #
 # Source-flood baselines: round-robin / TDMA slots and centralized schedules
 # --------------------------------------------------------------------------- #
-def _run_source_flood(task: SimulationTask, tx_mask_for_round) -> BackendResult:
+def _run_source_flood(task: SimulationTask, tx_mask_for_round, channel=None) -> BackendResult:
     """Shared loop for baselines that only ever retransmit µ.
 
     ``tx_mask_for_round(r, informed)`` returns the boolean transmit mask of
     round ``r``; everything else — channel resolution, first-receipt
     bookkeeping, trace recording, the ``all_informed`` stop rule — is
-    identical across the slotted and scheduled baselines.
+    identical across the slotted and scheduled baselines.  ``channel`` lets a
+    caller substitute a drop-in replacement for the CSR :class:`_Channel`
+    (the ELL tier injects its padded-layout channel here so equivalence with
+    this loop holds by construction).
     """
     graph, n = task.graph, task.graph.n
     src = task.source
     payload = task.payload
-    channel = _Channel(graph)
+    if channel is None:
+        channel = _Channel(graph)
     rec = _Recorder(n, src, task.trace_level)
 
     informed = np.zeros(n, dtype=bool)
@@ -828,7 +833,7 @@ def _run_source_flood(task: SimulationTask, tx_mask_for_round) -> BackendResult:
     return BackendResult(simulation=sim, derived={"completion_round": completion})
 
 
-def _run_slotted_kernel(task: SimulationTask) -> BackendResult:
+def _run_slotted_kernel(task: SimulationTask, channel=None) -> BackendResult:
     """Round-robin / G²-colouring TDMA: informed node of slot s transmits at r ≡ s."""
     slots, periods = _parse_slot_labels(task.labels, task.graph.n)
     slot_residue = slots % periods
@@ -836,7 +841,7 @@ def _run_slotted_kernel(task: SimulationTask) -> BackendResult:
     def tx_mask(r: int, informed: np.ndarray) -> np.ndarray:
         return informed & ((r % periods) == slot_residue)
 
-    return _run_source_flood(task, tx_mask)
+    return _run_source_flood(task, tx_mask, channel=channel)
 
 
 def _run_collision_detection_kernel(task: SimulationTask) -> BackendResult:

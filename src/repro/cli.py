@@ -50,7 +50,7 @@ from .api import (
     spec_label,
 )
 from .api import run as run_scenario
-from .backends import BACKEND_NAMES
+from .backends import BACKEND_NAMES, BACKEND_SPECS, BackendError, jit_available, resolve_backend
 from .store import ResultStore, StoreError
 from .core import (
     lambda_ack_scheme,
@@ -110,6 +110,20 @@ def _parse_batch_size(text: str) -> int:
     return value
 
 
+def _parse_backend_arg(text: str) -> str:
+    """Argparse type for ``--backend``: any spec ``resolve_backend`` accepts.
+
+    Plain ``choices=`` can't express the parameterized forms (``sharded:K``,
+    ``ell:jit`` / ``ell:numpy``), so the spec is validated by actually
+    resolving it — the error message lists every valid form.
+    """
+    try:
+        resolve_backend(text)
+    except BackendError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def _parse_shards(text: str) -> int:
     """Argparse type for ``--shards``: a positive integer, checked up front."""
     try:
@@ -140,8 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="lambda")
     bcast.add_argument("--source", type=int, default=0)
     bcast.add_argument("--payload", default="MSG")
-    bcast.add_argument("--backend", choices=list(BACKEND_NAMES), default="reference",
-                       help="simulation engine (vectorized = NumPy CSR kernels)")
+    bcast.add_argument("--backend", type=_parse_backend_arg, metavar="SPEC",
+                       default="reference",
+                       help=f"simulation engine spec, one of: {', '.join(BACKEND_SPECS)} "
+                            f"(vectorized = NumPy CSR kernels; ell = padded-adjacency "
+                            f"kernels, JIT-compiled when numba is installed)")
     bcast.add_argument("--render", action="store_true",
                        help="print the Figure-1 style annotated layers")
 
@@ -151,8 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("scenario", help="path to a scenario JSON file (see repro.api.Scenario)")
     runp.add_argument("--scheme", default=None,
                       help="override the scenario's scheme (see `repro schemes`)")
-    runp.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
-                      help="override the scenario's backend")
+    runp.add_argument("--backend", type=_parse_backend_arg, metavar="SPEC", default=None,
+                      help=f"override the scenario's backend "
+                           f"(one of: {', '.join(BACKEND_SPECS)})")
     runp.add_argument("--shards", type=_parse_shards, default=None,
                       help="segment worker count for the sharded backend "
                            "(implies --backend sharded)")
@@ -187,12 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--clocks", nargs="+", type=_parse_clock_arg, default=["sync"],
                        help="clock-model axis, e.g. sync offset:3 random_offsets:50:9")
     sweep.add_argument("--payload", default="MSG")
-    sweep.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
-                       help="simulation engine (vectorized = NumPy CSR kernels; "
-                            "batched = stacked multi-instance kernels; sharded = "
-                            "one large instance split across processes); defaults "
-                            "to reference, or to batched when --batch-size is "
-                            "set, or to sharded when --shards is set")
+    sweep.add_argument("--backend", type=_parse_backend_arg, metavar="SPEC", default=None,
+                       help=f"simulation engine spec, one of: {', '.join(BACKEND_SPECS)} "
+                            f"(vectorized = NumPy CSR kernels; batched = stacked "
+                            f"multi-instance kernels; sharded = one large instance "
+                            f"split across processes; ell = padded-adjacency kernels, "
+                            f"JIT-compiled when numba is installed); defaults to "
+                            f"reference, or to batched when --batch-size is set, or "
+                            f"to sharded when --shards is set")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (results are "
                             "deterministic and independent of the job count)")
@@ -342,15 +362,24 @@ def _cmd_run(args) -> int:
 
 def _cmd_schemes(args) -> int:
     if getattr(args, "json", False):
-        doc = [
-            {
-                "name": name,
-                "kind": get_scheme(name).kind,
-                "description": get_scheme(name).description,
-                "backends": scheme_backend_coverage(name),
-            }
-            for name in scheme_names()
-        ]
+        doc = {
+            "schemes": [
+                {
+                    "name": name,
+                    "kind": get_scheme(name).kind,
+                    "description": get_scheme(name).description,
+                    "backends": scheme_backend_coverage(name),
+                }
+                for name in scheme_names()
+            ],
+            "backends": {
+                "names": list(BACKEND_NAMES),
+                "specs": list(BACKEND_SPECS),
+                # Whether `--backend ell` selects the numba JIT tier on this
+                # machine (False: the ELL backend runs its NumPy kernels).
+                "ell_jit_available": jit_available(),
+            },
+        }
         print(json.dumps(doc, indent=2))
         return 0
     for name in scheme_names():

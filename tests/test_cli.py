@@ -166,11 +166,12 @@ class TestSessionCommands:
     def test_schemes_json_is_machine_readable(self, capsys):
         assert main(["schemes", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        by_name = {entry["name"]: entry for entry in doc}
+        assert set(doc) == {"schemes", "backends"}
+        by_name = {entry["name"]: entry for entry in doc["schemes"]}
         assert set(by_name) >= {"lambda", "lambda_ack", "lambda_arb",
                                 "round_robin", "coloring_tdma",
                                 "collision_detection", "centralized"}
-        for entry in doc:
+        for entry in doc["schemes"]:
             assert set(entry) == {"name", "kind", "description", "backends"}
             assert "reference" in entry["backends"]
         assert by_name["lambda"]["kind"] == "paper"
@@ -183,6 +184,18 @@ class TestSessionCommands:
         # The sharded backend covers the dense-decision round kernels.
         assert "sharded" in by_name["lambda"]["backends"]
         assert "sharded" in by_name["round_robin"]["backends"]
+        # The ELL tier covers the three padded-row protocols (the probe task
+        # is a 4-node path, which passes the regularity check).
+        assert "ell" in by_name["lambda"]["backends"]
+        assert "ell" in by_name["round_robin"]["backends"]
+        assert "ell" in by_name["coloring_tdma"]["backends"]
+        assert "ell" not in by_name["lambda_ack"]["backends"]
+        # Machine-level backend registry info, incl. JIT importability.
+        meta = doc["backends"]
+        assert meta["names"] == ["reference", "vectorized", "batched",
+                                 "sharded", "ell"]
+        assert "ell:jit" in meta["specs"] and "sharded:K" in meta["specs"]
+        assert isinstance(meta["ell_jit_available"], bool)
 
     def test_sweep_store_then_resume_reports_full_cache_hits(self, capsys, tmp_path):
         store = str(tmp_path / "store")

@@ -1,0 +1,438 @@
+"""Differential suite for the padded-adjacency (ELL) backend.
+
+The ELL backend's claim is that swapping the CSR channel for a fixed-width
+self-padded neighbour table — and, when numba is importable, for a fused
+event-driven compiled round kernel — is invisible: traces, derived values and
+stop bookkeeping must be bit-for-bit identical to the vectorized engine on
+every graph the regularity probe admits, and graphs it rejects (stars,
+barbells) must transparently fall back to CSR with true provenance.  The
+suite also pins the layout round-trip, degree-0 handling, the tier-selection
+plumbing (``resolve_backend("ell:jit")``, ``Scenario.backend``, the CLI
+``--backend`` spec type, tier-independent store keys) and the JIT kernels
+themselves: without numba ``@njit`` is an identity decorator, so the exact
+compiled code paths run here as plain Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import GridConfig, Scenario, get_scheme, run_grid
+from repro.api.grid import grid_unit_key
+from repro.backends import (
+    BACKEND_SPECS,
+    BackendError,
+    EllAdjacency,
+    EllBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    resolve_backend,
+)
+from repro.backends.ell import (
+    DEFAULT_MAX_PADDING_RATIO,
+    _run_broadcast_jit,
+    _run_slotted_jit,
+    padding_ratio_of,
+)
+from repro.graphs import Graph, generate_family
+from repro.graphs.generators import barbell_graph, family_names
+from repro.store.keys import normalize_backend_name
+
+VECTORIZED = VectorizedBackend()
+REFERENCE = ReferenceBackend()
+
+#: Protocol schemes the ELL kernels cover natively.
+ELL_SCHEMES = ["lambda", "round_robin", "coloring_tdma"]
+
+#: Star sits right on the CSR-fallback boundary: ratio n/2 passes the probe
+#: for n ≤ 8 and fails it beyond, so the differential exercises both sides.
+FAMILIES = ["path", "cycle", "star", "grid", "gnp_sparse", "geometric"]
+
+#: One shared backend per tier so layout caches are reused across examples.
+NUMPY_ELL = EllBackend(mode="numpy")
+AUTO_ELL = EllBackend(mode="auto")
+
+_JIT_WRAPPERS = {
+    "broadcast": _run_broadcast_jit,
+    "round_robin": _run_slotted_jit,
+    "coloring_tdma": _run_slotted_jit,
+}
+
+
+def _build_task(scheme_name, family, size, seed, trace_level="summary"):
+    graph = generate_family(family, size, seed)
+    source = seed % graph.n
+    scheme = get_scheme(scheme_name)
+    options = scheme.grid_options(graph, source)
+    info = scheme.build_labels(graph, source, _payload_text="MSG", **options)
+    return scheme.build_task(
+        graph, info, source,
+        payload="MSG",
+        max_rounds=scheme.default_budget(graph, info),
+        trace_level=trace_level,
+        fault_model=None,
+        clock_model=None,
+    )
+
+
+def _fingerprint(result):
+    return (
+        result.trace,
+        result.derived,
+        result.simulation.stop_round,
+        result.simulation.stop_reason,
+    )
+
+
+def _trace_fingerprint(result):
+    # The reference backend leaves ``derived`` to the schemes, so reference
+    # comparisons cover the trace and stop bookkeeping only.
+    return (result.trace, result.simulation.stop_round, result.simulation.stop_reason)
+
+
+# --------------------------------------------------------------------------- #
+# property-based differential grid: ell (numpy and jit) == vectorized == ref
+# --------------------------------------------------------------------------- #
+class TestEllDifferential:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        scheme_name=st.sampled_from(ELL_SCHEMES),
+        family=st.sampled_from(FAMILIES),
+        size=st.integers(min_value=2, max_value=24),
+        seed=st.integers(min_value=0, max_value=6),
+        trace_level=st.sampled_from(["summary", "full"]),
+    )
+    def test_ell_matches_vectorized_and_reference(
+        self, scheme_name, family, size, seed, trace_level
+    ):
+        task = _build_task(scheme_name, family, size, seed, trace_level)
+        solo = VECTORIZED.run_task(task)
+        out = NUMPY_ELL.run_task(task)
+        if NUMPY_ELL.supports(task):
+            assert out.backend == "ell"
+        else:  # probe-rejected graphs fall back with CSR provenance
+            assert out.backend == "vectorized"
+        assert _fingerprint(out) == _fingerprint(solo)
+        # The JIT kernels run here too: without numba the @njit decorator is
+        # an identity, so the exact compiled code paths execute as Python.
+        jit = _JIT_WRAPPERS[task.protocol](task, EllAdjacency.from_graph(task.graph))
+        assert _fingerprint(jit) == _fingerprint(solo)
+        assert _trace_fingerprint(out) == _trace_fingerprint(REFERENCE.run_task(task))
+        if trace_level == "full":
+            assert out.trace.to_json() == solo.trace.to_json()
+            assert jit.trace.to_json() == solo.trace.to_json()
+
+    def test_trace_level_none_matches_vectorized(self):
+        # Reference records "none" as a summary trace (pre-existing), so the
+        # none-level check is ell vs vectorized only.
+        for scheme_name in ELL_SCHEMES:
+            task = _build_task(scheme_name, "grid", 16, 1, trace_level="none")
+            out = NUMPY_ELL.run_task(task)
+            assert out.backend == "ell"
+            assert _fingerprint(out) == _fingerprint(VECTORIZED.run_task(task))
+
+    def test_worst_case_path_through_both_tiers(self):
+        # The 2n−3-round path maximises rounds; both tiers must agree with
+        # the CSR engine round for round.
+        task = _build_task("lambda", "path", 40, 1, trace_level="full")
+        solo = VECTORIZED.run_task(task)
+        assert _fingerprint(NUMPY_ELL.run_task(task)) == _fingerprint(solo)
+        jit = _run_broadcast_jit(task, EllAdjacency.from_graph(task.graph))
+        assert jit.trace.to_json() == solo.trace.to_json()
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        scheme_name=st.sampled_from(ELL_SCHEMES),
+        fault=st.sampled_from([None, "drop:0.3:2", "crash:1@2"]),
+        clock=st.sampled_from([None, "offset:3"]),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_perturbed_channels_agree_through_the_grid(
+        self, scheme_name, fault, clock, seed
+    ):
+        # Fault/clock cells are not ELL-covered; the backend must route them
+        # to engines that are and still match the reference rows exactly.
+        cfg = GridConfig(families=["gnp_sparse"], sizes=[12], seeds_per_size=1,
+                         schemes=[scheme_name], faults=[fault], clocks=[clock],
+                         base_seed=seed)
+        rows = run_grid(cfg, backend="ell")
+        assert rows == run_grid(cfg, backend="reference")
+        # Any channel perturbation leaves the dense-kernel engines, so the
+        # delegation chain ends at the reference interpreter.
+        expected = "ell" if fault is None and clock is None else "reference"
+        assert [r.backend for r in rows] == [expected]
+
+
+# --------------------------------------------------------------------------- #
+# the layout: CSR round-trip, self-padding, regularity probe, degree-0 rows
+# --------------------------------------------------------------------------- #
+class TestEllAdjacency:
+    @pytest.mark.parametrize("family", family_names())
+    def test_round_trips_csr_for_every_family(self, family):
+        graph = generate_family(family, 17, 3)
+        indptr, indices = graph.csr()
+        ell = EllAdjacency.from_graph(graph)
+        rt_indptr, rt_indices = ell.to_csr()
+        assert rt_indptr.tolist() == np.asarray(indptr).tolist()
+        assert rt_indices.tolist() == np.asarray(indices).tolist()
+        assert ell.degrees.tolist() == np.diff(indptr).tolist()
+        assert ell.width == int(np.diff(indptr).max())
+
+    def test_rows_are_self_padded(self):
+        ell = EllAdjacency.from_graph(generate_family("star", 5, 0))
+        # Leaves have degree 1 and width 4: three trailing self-pads each.
+        for v in range(1, 5):
+            assert ell.neighbors[v].tolist() == [0, v, v, v]
+
+    def test_isolated_nodes_round_trip_and_self_pad(self):
+        graph = Graph.from_edges(5, [(0, 1)])
+        ell = EllAdjacency.from_graph(graph)
+        assert ell.degrees.tolist() == [1, 1, 0, 0, 0]
+        for v in (2, 3, 4):  # degree-0 rows are pure self-pads, never garbage
+            assert ell.neighbors[v].tolist() == [v]
+        indptr, indices = ell.to_csr()
+        assert indptr.tolist() == [0, 1, 2, 2, 2, 2]
+        assert indices.tolist() == [1, 0]
+
+    def test_edgeless_graph_has_zero_width(self):
+        ell = EllAdjacency.from_graph(Graph.from_edges(3, []))
+        assert ell.width == 0 and ell.neighbors.shape == (3, 0)
+        assert ell.padding_ratio == 1.0
+        indptr, indices = ell.to_csr()
+        assert indptr.tolist() == [0, 0, 0, 0] and indices.size == 0
+
+    def test_isolated_nodes_never_hear_or_corrupt_counts(self):
+        # A broadcast on a graph with degree-0 nodes: the padded rows of the
+        # isolated nodes must neither receive anything nor skew the channel.
+        # (The λ schemes require connected graphs, so the slotted protocols
+        # are the ones that can actually visit a degree-0 row.)
+        graph = Graph.from_edges(6, [(0, 1), (1, 2), (2, 3)])
+        for scheme_name in ("round_robin", "coloring_tdma"):
+            scheme = get_scheme(scheme_name)
+            info = scheme.build_labels(graph, 0)
+            task = scheme.build_task(
+                graph, info, 0, payload="MSG",
+                max_rounds=scheme.default_budget(graph, info),
+                trace_level="full", fault_model=None, clock_model=None,
+            )
+            out = NUMPY_ELL.run_task(task)
+            solo = VECTORIZED.run_task(task)
+            assert out.backend == "ell"
+            assert _fingerprint(out) == _fingerprint(solo)
+            jit = _run_slotted_jit(task, EllAdjacency.from_graph(graph))
+            assert jit.trace.to_json() == solo.trace.to_json()
+
+    def test_regularity_probe_values(self):
+        # Star: hub degree n−1 ⇒ width n−1, m = 2(n−1) ⇒ ratio n/2.
+        assert padding_ratio_of(generate_family("star", 16, 0)) == 8.0
+        # Cycle is 2-regular: zero padding.
+        assert padding_ratio_of(generate_family("cycle", 16, 0)) == 1.0
+
+    def test_probe_rejects_star_and_barbell(self):
+        assert padding_ratio_of(generate_family("star", 33, 0)) > DEFAULT_MAX_PADDING_RATIO
+        assert padding_ratio_of(barbell_graph(30, 400)) > DEFAULT_MAX_PADDING_RATIO
+
+    def test_fallback_triggers_on_star_and_barbell_with_true_provenance(self):
+        task = _build_task("lambda", "star", 33, 0)
+        assert not NUMPY_ELL.supports(task)
+        out = NUMPY_ELL.run_task(task)
+        assert out.backend == "vectorized"
+        assert _fingerprint(out) == _fingerprint(VECTORIZED.run_task(task))
+
+        graph = barbell_graph(16, 200)  # ratio ≈ 4.2: rejected
+        assert padding_ratio_of(graph) > DEFAULT_MAX_PADDING_RATIO
+        scheme = get_scheme("lambda")
+        info = scheme.build_labels(graph, 0)
+        task = scheme.build_task(
+            graph, info, 0, payload="MSG",
+            max_rounds=scheme.default_budget(graph, info),
+            trace_level="summary", fault_model=None, clock_model=None,
+        )
+        out = NUMPY_ELL.run_task(task)
+        assert out.backend == "vectorized"
+        assert _fingerprint(out) == _fingerprint(VECTORIZED.run_task(task))
+
+    def test_probe_boundary_star8_runs_natively(self):
+        # star:8 has ratio exactly 4.0 — the last star the probe admits.
+        task = _build_task("lambda", "star", 8, 0)
+        assert padding_ratio_of(task.graph) == DEFAULT_MAX_PADDING_RATIO
+        out = NUMPY_ELL.run_task(task)
+        assert out.backend == "ell"
+        assert _fingerprint(out) == _fingerprint(VECTORIZED.run_task(task))
+
+    def test_wider_probe_threshold_runs_stars_natively(self):
+        task = _build_task("lambda", "star", 33, 0)
+        loose = EllBackend(mode="numpy", max_padding_ratio=1e9)
+        out = loose.run_task(task)
+        assert out.backend == "ell"
+        assert _fingerprint(out) == _fingerprint(VECTORIZED.run_task(task))
+
+
+# --------------------------------------------------------------------------- #
+# dispatch: fallback, strict mode, provenance, tier selection
+# --------------------------------------------------------------------------- #
+class TestEllDispatch:
+    def test_uncovered_scheme_falls_back_with_true_provenance(self):
+        task = _build_task("lambda_ack", "grid", 16, 2)
+        out = NUMPY_ELL.run_task(task)
+        solo = VECTORIZED.run_task(task)
+        assert _fingerprint(out) == _fingerprint(solo)
+        assert out.backend == "vectorized"  # the engine that actually ran it
+
+    def test_non_default_models_fall_back_to_reference(self):
+        from repro.radio.clock import OffsetClocks
+
+        graph = generate_family("path", 9, 1)
+        scheme = get_scheme("lambda")
+        info = scheme.build_labels(graph, 0)
+        task = scheme.build_task(
+            graph, info, 0, payload="MSG",
+            max_rounds=scheme.default_budget(graph, info),
+            trace_level="summary", fault_model=None,
+            clock_model=OffsetClocks({v: 3 for v in graph.nodes()}),
+        )
+        out = NUMPY_ELL.run_task(task)
+        assert out.backend == "reference"
+
+    def test_strict_raises_for_uncovered_task(self):
+        with pytest.raises(BackendError, match="no kernel"):
+            EllBackend(mode="numpy", strict=True).run_task(
+                _build_task("lambda_ack", "path", 9, 1)
+            )
+        with pytest.raises(BackendError, match="padding-ratio"):
+            EllBackend(mode="numpy", strict=True).run_task(
+                _build_task("lambda", "star", 33, 0)
+            )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(BackendError, match="unknown ell mode"):
+            EllBackend(mode="fast")
+
+    def test_numpy_mode_never_reports_jit(self):
+        assert NUMPY_ELL.jit_active is False
+        out = NUMPY_ELL.run_task(_build_task("lambda", "grid", 16, 0))
+        assert out.backend == "ell"
+
+    def test_auto_tier_provenance_matches_jit_availability(self):
+        from repro.backends.ell import jit_available
+
+        out = AUTO_ELL.run_task(_build_task("lambda", "grid", 16, 0))
+        assert out.backend == ("ell:jit" if jit_available() else "ell")
+        if jit_available():
+            assert AUTO_ELL.jit_active
+        # Either way the rows must match the CSR engine bit for bit.
+        task = _build_task("round_robin", "cycle", 12, 2, trace_level="full")
+        assert AUTO_ELL.run_task(task).trace.to_json() == \
+            VECTORIZED.run_task(task).trace.to_json()
+
+
+# --------------------------------------------------------------------------- #
+# tier-selection threading: resolver, scenario, grid, CLI, store keys
+# --------------------------------------------------------------------------- #
+class TestEllSelectionThreading:
+    def test_resolve_backend_parses_tier_specs(self):
+        backend = resolve_backend("ell:numpy")
+        assert isinstance(backend, EllBackend)
+        assert backend.mode == "numpy"
+        assert resolve_backend("ell:numpy") is backend  # shared per spec
+        assert resolve_backend("ell").mode == "auto"
+        assert resolve_backend("ell:jit").mode == "jit"
+        assert resolve_backend("ell") is not backend
+
+    @pytest.mark.parametrize("bad", ["ell:fast", "ell:2", "vectorized:jit"])
+    def test_resolve_backend_rejects_bad_specs(self, bad):
+        with pytest.raises(BackendError):
+            resolve_backend(bad)
+
+    def test_unknown_backend_error_lists_every_valid_spec(self):
+        # The error message is the discovery surface: it must enumerate the
+        # full sorted spec list, parameterized forms included.
+        with pytest.raises(BackendError) as err:
+            resolve_backend("nope")
+        message = str(err.value)
+        for spec in BACKEND_SPECS:
+            assert spec in message
+        assert "ell:jit" in message and "sharded:K" in message
+
+    def test_backend_specs_are_sorted_and_complete(self):
+        assert list(BACKEND_SPECS) == sorted(BACKEND_SPECS)
+        assert set(BACKEND_SPECS) >= {"reference", "vectorized", "batched",
+                                      "sharded", "sharded:K", "ell",
+                                      "ell:jit", "ell:numpy"}
+
+    def test_scenario_ell_backend_round_trip(self):
+        scenario = Scenario(graph="grid:16", scheme="lambda", backend="ell:jit",
+                            trace_level="summary")
+        clone = Scenario.from_json(scenario.to_json())
+        assert clone.backend == "ell:jit"
+        assert clone.backend_spec() == "ell:jit"
+
+    def test_scenario_rejects_shards_with_ell_backend(self):
+        with pytest.raises(ValueError, match="shards"):
+            Scenario(graph="path:9", backend="ell", shards=2)
+
+    def test_cli_backend_accepts_specs_and_rejects_unknown(self, capsys):
+        import argparse
+
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--families", "path", "--sizes", "9",
+             "--backend", "ell:numpy"]
+        )
+        assert args.backend == "ell:numpy"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--families", "path", "--sizes", "9",
+                 "--backend", "ell:fast"]
+            )
+        assert "ell" in capsys.readouterr().err
+
+    def test_cli_broadcast_with_ell_backend(self, capsys):
+        from repro.cli import main
+
+        assert main(["broadcast", "grid:16", "--backend", "ell:numpy"]) == 0
+        out = capsys.readouterr().out
+        assert "completion round" in out and "PASS" in out
+
+    def test_grid_rows_match_reference_through_ell(self):
+        cfg = GridConfig(families=["path", "gnp_sparse"], sizes=[9],
+                         schemes=["lambda", "round_robin", "lambda_ack"])
+        ell_rows = run_grid(cfg, backend="ell:numpy")
+        assert ell_rows == run_grid(cfg, backend="reference")
+        by_scheme = {r.scheme: r.backend for r in ell_rows}
+        assert by_scheme["lambda"] == "ell"
+        assert by_scheme["round_robin"] == "ell"
+        assert by_scheme["lambda_ack"] == "vectorized"  # fallback provenance
+
+    def test_store_keys_are_tier_independent(self):
+        # The JIT and NumPy tiers are bit-identical, so a sweep resumed on a
+        # machine without numba must hit every row a JIT machine stored.
+        assert normalize_backend_name("ell:jit") == "ell"
+        assert normalize_backend_name("ell:numpy") == "ell"
+        cfg = GridConfig(families=["path"], sizes=[9], schemes=["lambda"])
+        unit = ("path", 9, 0, None, None, "lambda")
+        keys = {
+            grid_unit_key(cfg, unit, backend=spec)
+            for spec in ("ell", "ell:jit", "ell:numpy")
+        }
+        assert len(keys) == 1
+        assert keys != {grid_unit_key(cfg, unit, backend="vectorized")}
+
+    def test_sweep_store_resume_across_tiers(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        sweep = ["sweep", "--families", "path", "--sizes", "9",
+                 "--schemes", "lambda", "--store", store]
+        assert main(sweep + ["--backend", "ell:numpy", "--output", "json"]) == 0
+        assert "computed=1" in capsys.readouterr().err
+        # Resuming under the other tier spec is a full cache hit.
+        assert main(sweep + ["--backend", "ell:jit", "--resume",
+                             "--output", "json"]) == 0
+        assert "cached=1 computed=0" in capsys.readouterr().err

@@ -539,3 +539,82 @@ def bench_store_backed_sweep():
         f"({cold_calls} backend calls), warm: {warm_wall:.3f}s "
         f"(0 backend calls, 100% cache hits)",
     )
+
+
+def bench_store_index(request):
+    """Offset-indexed store opens and O(1) lookups at scale; ``store_index``.
+
+    Builds a >=10^5-row store (2*10^4 under ``--quick``), then compares an
+    indexed reopen (sidecar ``.idx`` offset maps, zero JSONL lines parsed)
+    against a forced full rescan (``rebuild_index=True``, the pre-index code
+    path), and measures warm random ``get``/``__contains__`` latency.  The
+    numbers land in the ``store_index`` section so later PRs can track open
+    time and lookup latency as stores grow.
+    """
+    import hashlib
+    import random
+    import tempfile
+
+    from repro.analysis import RunMetrics
+    from repro.store import ResultStore
+
+    quick = request.config.getoption("--quick")
+    n_rows = 20_000 if quick else 100_000
+    row = RunMetrics(
+        scheme="lambda", family="path", n=64, source_eccentricity=63,
+        label_bits=2, distinct_labels=2, completion_round=125, bound=125,
+        acknowledgement_round=None, transmissions=63, collisions=0,
+        total_message_bits=2016,
+    )
+    keys = [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n_rows)]
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "store"
+        start = time.perf_counter()
+        with ResultStore(root) as store:
+            for key in keys:
+                store.put(key, row)
+        build_wall = time.perf_counter() - start
+
+        cold_open = min(
+            _timed(lambda: ResultStore(root, rebuild_index=True))
+            for _ in range(3)
+        )
+        indexed_open = min(_timed(lambda: ResultStore(root)) for _ in range(3))
+
+        store = ResultStore(root)
+        assert store.describe()["scanned_lines"] == 0, "open must be indexed"
+        assert len(store) == n_rows
+        sample = random.Random(0).sample(keys, 2000)
+        contains_s = _timed(lambda: all(key in store for key in sample))
+        lookups = _timed(lambda: [store.get(key) for key in sample])
+        assert store.get(sample[0]) == row
+        store.close()
+
+    speedup = cold_open / indexed_open if indexed_open else float("inf")
+    assert speedup >= 5, (
+        f"indexed open must be well ahead of a full rescan "
+        f"(cold {cold_open:.3f}s vs indexed {indexed_open:.3f}s)"
+    )
+    _merge_bench_json("store_index", [{
+        "rows": n_rows,
+        "segments": 256,
+        "build_seconds": round(build_wall, 3),
+        "cold_open_seconds": round(cold_open, 4),
+        "indexed_open_seconds": round(indexed_open, 4),
+        "open_speedup": round(speedup, 1),
+        "warm_get_us": round(lookups / len(sample) * 1e6, 2),
+        "contains_us": round(contains_s / len(sample) * 1e6, 3),
+    }])
+    report(
+        "E10e — offset-indexed store opens",
+        f"{n_rows} rows / 256 segments; full rescan open: {cold_open:.3f}s, "
+        f"indexed open: {indexed_open:.4f}s ({speedup:.0f}x); warm get: "
+        f"{lookups / len(sample) * 1e6:.1f}us, contains: "
+        f"{contains_s / len(sample) * 1e6:.2f}us per key",
+    )
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start

@@ -9,6 +9,7 @@ read well in CI logs and in EXPERIMENTS.md.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
@@ -115,13 +116,18 @@ def metrics_to_json(metrics: Sequence, *, indent: int = 2) -> str:
 def metrics_to_csv(metrics: Sequence) -> str:
     """Serialise :class:`~repro.analysis.metrics.RunMetrics` rows as CSV text.
 
-    The header row lists every metrics field; ``None`` cells are left empty.
+    The header row lists every metrics field and is emitted even for an
+    empty sequence (exports stay concatenable); ``None`` cells are left empty.
     """
+    from .metrics import RunMetrics
+
     buffer = io.StringIO()
     rows = _metric_dicts(metrics)
-    if not rows:
-        return ""
-    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()), lineterminator="\n")
+    if rows:
+        fieldnames = list(rows[0].keys())
+    else:
+        fieldnames = [field.name for field in dataclasses.fields(RunMetrics)]
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
     writer.writeheader()
     for row in rows:
         writer.writerow({k: ("" if v is None else v) for k, v in row.items()})

@@ -50,13 +50,14 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
 from ..analysis.metrics import RunMetrics, metrics_from_run
 from ..analysis.sweep import instance_seed
 from ..backends import BACKEND_NAMES
-from ..store import ResultSet, ResultStore, unit_key
+from ..store import ResultSet, ResultStore, StoreError, unit_key
 from .schemes import get_scheme, scheme_names
 from .specs import (
     ClockSpec,
@@ -730,15 +731,17 @@ def _iter_grid_stream(
     """The generator behind :func:`iter_grid` (validation happens eagerly)."""
     from ..analysis.executor import chunk_specs  # local: avoids cycle
 
+    # Membership only (one O(1) index hit per cell): cached rows are fetched
+    # lazily at emission time, so a mostly-warm million-cell sweep never
+    # materializes every cached row up front.
     keys: List[Optional[str]] = [None] * len(units)
-    cached: Dict[int, RunMetrics] = {}
+    cached: Set[int] = set()
     if store is not None:
         for i, unit in enumerate(units):
             keys[i] = grid_unit_key(config, unit, backend=backend,
                                     trace_level=trace_level)
-            row = store.get(keys[i])
-            if row is not None:
-                cached[i] = row
+            if keys[i] in store:
+                cached.add(i)
     pending = [i for i in range(len(units)) if i not in cached]
 
     per_instance = _units_per_instance(config)
@@ -787,19 +790,36 @@ def _iter_grid_stream(
             completed_chunks=progress.completed_chunks + 1,
         )
 
+    def _fetch_cached(i: int) -> RunMetrics:
+        row = store.get(keys[i])
+        if row is None:
+            raise StoreError(
+                f"row for cached cell {keys[i]} vanished from {store.root} "
+                f"mid-sweep (store modified concurrently?)"
+            )
+        return row
+
     def _drain() -> List[RunMetrics]:
         nonlocal next_emit
         out: List[RunMetrics] = []
         if ordered:
-            while next_emit in buffer:
-                out.append(buffer.pop(next_emit))
+            while True:
+                if next_emit in cached:
+                    cached.discard(next_emit)
+                    out.append(_fetch_cached(next_emit))
+                elif next_emit in buffer:
+                    out.append(buffer.pop(next_emit))
+                else:
+                    break
                 next_emit += 1
         else:
+            for i in sorted(cached):
+                out.append(_fetch_cached(i))
+            cached.clear()
             for i in sorted(buffer):
                 out.append(buffer.pop(i))
         return out
 
-    buffer.update(cached)
     for row in _drain():
         if on_cell:
             on_cell(row)

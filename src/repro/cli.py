@@ -51,7 +51,7 @@ from .api import (
 )
 from .api import run as run_scenario
 from .backends import BACKEND_NAMES, BACKEND_SPECS, BackendError, jit_available, resolve_backend
-from .store import ResultStore, StoreError
+from .store import ResultStore, StoreError, compact_store
 from .core import (
     lambda_ack_scheme,
     lambda_arb_scheme,
@@ -263,6 +263,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "(e.g. ok, or an error:... tag)")
     results.add_argument("--output", choices=["table", "json", "csv", "jsonl"],
                          default="table", help="output format for the rows")
+
+    store = sub.add_parser(
+        "store",
+        help="maintain a result store directory (compact segments, "
+             "inspect counters)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    compact = store_sub.add_parser(
+        "compact",
+        help="garbage-collect the store in place: drop duplicate-key, "
+             "retired-schema and torn-tail lines, rewrite segments "
+             "atomically and refresh the offset indexes",
+    )
+    compact.add_argument("store", metavar="DIR", help="result store directory")
+    describe = store_sub.add_parser(
+        "describe",
+        help="print the store's summary counters as JSON (rows, segments, "
+             "skipped/stale lines, lines parsed by this open)",
+    )
+    describe.add_argument("store", metavar="DIR", help="result store directory")
 
     return parser
 
@@ -488,6 +508,21 @@ def _cmd_results(args) -> int:
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        return _emit_results(args, store)
+    finally:
+        store.close()
+
+
+def _emit_results(args, store: ResultStore) -> int:
+    unfiltered = not (args.schemes or args.families or args.sizes or args.status)
+    if args.output == "jsonl" and unfiltered:
+        # The line-oriented export needs no columnar staging: stream one row
+        # at a time straight off the offset index, whatever the store size.
+        for _, metrics in store.iter_items():
+            print(json.dumps(metrics.as_dict(), sort_keys=True,
+                             separators=(",", ":")))
+        return 0
     rows = store.rows()
     total = len(rows)
     if args.schemes:
@@ -513,6 +548,28 @@ def _cmd_results(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    try:
+        if args.store_command == "compact":
+            stats = compact_store(args.store)
+            print(json.dumps(stats, indent=2))
+            dropped = (stats["duplicates_dropped"] + stats["stale_dropped"]
+                       + stats["junk_dropped"])
+            print(
+                f"[compact] {args.store}: kept {stats['rows_kept']} rows, "
+                f"dropped {dropped} lines, "
+                f"{stats['bytes_before']} -> {stats['bytes_after']} bytes",
+                file=sys.stderr,
+            )
+        else:
+            with ResultStore.open(args.store, require_existing=True) as store:
+                print(json.dumps(store.describe(), indent=2))
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -525,6 +582,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure1": _cmd_figure1,
         "sweep": _cmd_sweep,
         "results": _cmd_results,
+        "store": _cmd_store,
     }
     return handlers[args.command](args)
 

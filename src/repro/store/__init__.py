@@ -14,9 +14,13 @@ Three pieces, layered::
 * :mod:`repro.store.resultset` — :class:`ResultSet`, the NumPy-backed
   columnar container ``run_grid`` returns (list-compatible);
 * :mod:`repro.store.store` — :class:`ResultStore`, the sharded append-only
-  JSONL store that makes sweeps resumable.
+  JSONL store that makes sweeps resumable (O(1) lookups via the sidecar
+  offset indexes of :mod:`repro.store.index`, multi-writer safe appends);
+* :mod:`repro.store.compact` — :func:`compact_store`, the in-place segment
+  garbage collector behind ``repro store compact``.
 """
 
+from .compact import compact_store
 from .keys import SCHEMA_VERSION, canonical_payload, normalize_backend_name, unit_key
 from .resultset import ResultSet
 from .store import ResultStore, StoreError
@@ -27,6 +31,7 @@ __all__ = [
     "ResultStore",
     "StoreError",
     "canonical_payload",
+    "compact_store",
     "normalize_backend_name",
     "unit_key",
 ]

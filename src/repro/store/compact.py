@@ -1,0 +1,191 @@
+"""Segment compaction: garbage-collect a result store in place.
+
+An append-only store accumulates three kinds of dead bytes over its life:
+duplicate lines for one key (concurrent writers racing the same cell),
+retired-schema lines left behind by a schema bump, and junk from repaired
+torn tails (hard-killed writers).  :func:`compact_store` rewrites each
+segment down to exactly one line per live key — the *winning* (last valid)
+line, kept byte-for-byte verbatim, in first-appended key order — so
+compaction never changes the row bytes, keys or resume semantics of the
+store, only removes lines that no read could ever serve.
+
+Each segment is rewritten atomically (write temp + fsync + rename) under its
+exclusive advisory lock, so concurrent writers in other processes either
+append before the rename (their lines are compacted too) or after it (their
+appends land in the new file); nothing is lost either way.  Segments that are
+already clean are left untouched — running compaction twice is byte-stable.
+Sidecar offset indexes are refreshed to cover the compacted segments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .index import SegmentIndex, index_path, write_segment_index
+from .keys import SCHEMA_VERSION
+from .store import (
+    _FORMAT,
+    _KEY_RE,
+    _META_NAME,
+    _SEGMENTS_DIR,
+    StoreError,
+    _unlock,
+    locked_segment_fd,
+)
+
+__all__ = ["compact_store"]
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _compact_segment(path: Path) -> Dict[str, int]:
+    """Compact one segment under its lock; returns per-segment stats."""
+    try:
+        fd = locked_segment_fd(path)
+    except OSError:
+        return {}
+    try:
+        size = os.fstat(fd).st_size
+        data = os.pread(fd, size, 0)
+        winners: Dict[str, bytes] = {}
+        order: List[str] = []
+        duplicates = stale = junk = 0
+        pos = 0
+        while pos < len(data):
+            newline = data.find(b"\n", pos)
+            end = len(data) if newline == -1 else newline + 1
+            raw = data[pos:end]
+            pos = end
+            stripped = raw.strip()
+            if not stripped:
+                junk += 1
+                continue
+            try:
+                doc = json.loads(stripped)
+                key, row = doc["key"], doc["row"]
+            except (ValueError, KeyError, TypeError):
+                junk += 1
+                continue
+            if row is None or not isinstance(key, str) or not _KEY_RE.fullmatch(key):
+                junk += 1
+                continue
+            if doc.get("schema", 0) != SCHEMA_VERSION:
+                stale += 1
+                continue
+            if key in winners:
+                duplicates += 1
+            else:
+                order.append(key)
+            if not raw.endswith(b"\n"):
+                raw += b"\n"
+            winners[key] = raw
+        stats = {
+            "segments": 1,
+            "rows_kept": len(order),
+            "duplicates_dropped": duplicates,
+            "stale_dropped": stale,
+            "junk_dropped": junk,
+            "bytes_before": size,
+            "segments_rewritten": 0,
+            "segments_removed": 0,
+        }
+        if not order:
+            # Nothing live: drop the segment (and its sidecar) entirely.
+            os.unlink(path)
+            index_path(path).unlink(missing_ok=True)
+            _fsync_dir(path.parent)
+            stats["segments_removed"] = 1
+            stats["bytes_after"] = 0
+            return stats
+        new_data = b"".join(winners[key] for key in order)
+        if new_data != data:
+            tmp = path.with_name(path.name + ".tmp")
+            with open(tmp, "wb") as handle:
+                handle.write(new_data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(path.parent)
+            stats["segments_rewritten"] = 1
+        # else: already clean — repeat compactions are byte-stable and only
+        # the sidecar may need refreshing.
+        offsets: List[int] = []
+        lengths: List[int] = []
+        cursor = 0
+        for key in order:
+            offsets.append(cursor)
+            lengths.append(len(winners[key]))
+            cursor += lengths[-1]
+        try:
+            write_segment_index(path, SegmentIndex(
+                segment_bytes=len(new_data),
+                schema=SCHEMA_VERSION,
+                skipped=0,
+                stale=0,
+                keys=order,
+                offsets=offsets,
+                lengths=lengths,
+            ))
+        except OSError:
+            pass
+        stats["bytes_after"] = len(new_data)
+        return stats
+    finally:
+        _unlock(fd)
+        os.close(fd)
+
+
+def compact_store(root: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Compact every segment of the store at ``root``; returns summary stats.
+
+    Raises :class:`StoreError` when ``root`` is not a result store.  The
+    returned dict reports ``segments`` seen, ``segments_rewritten`` /
+    ``segments_removed``, ``rows_kept`` and the ``duplicates_dropped`` /
+    ``stale_dropped`` / ``junk_dropped`` line counts, plus ``bytes_before``
+    and ``bytes_after``.
+    """
+    root = Path(root)
+    meta_path = root / _META_NAME
+    if not meta_path.is_file():
+        raise StoreError(f"no result store at {root}")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"unreadable store metadata {meta_path}: {exc}") from exc
+    if meta.get("format") != _FORMAT:
+        raise StoreError(
+            f"{root} is not a repro result store (format={meta.get('format')!r})"
+        )
+    totals: Dict[str, Any] = {
+        "path": str(root),
+        "segments": 0,
+        "segments_rewritten": 0,
+        "segments_removed": 0,
+        "rows_kept": 0,
+        "duplicates_dropped": 0,
+        "stale_dropped": 0,
+        "junk_dropped": 0,
+        "bytes_before": 0,
+        "bytes_after": 0,
+    }
+    segments = root / _SEGMENTS_DIR
+    if not segments.is_dir():
+        return totals
+    for path in sorted(segments.glob("*.jsonl")):
+        for field, value in _compact_segment(path).items():
+            totals[field] += value
+    return totals

@@ -281,9 +281,11 @@ class ResultSet(Sequence):
         )
 
     def to_csv(self) -> str:
-        """The rows as CSV text (``None`` cells left empty)."""
-        if not self._length:
-            return ""
+        """The rows as CSV text (``None`` cells left empty).
+
+        The header row is always present, even for an empty set, so exports
+        from a fresh store still concatenate and parse as CSV downstream.
+        """
         buffer = io.StringIO()
         writer = csv.DictWriter(buffer, fieldnames=list(_FIELDS), lineterminator="\n")
         writer.writeheader()

@@ -5,6 +5,7 @@ Layout of a store directory::
     DIR/
       store.json            # format marker + schema version (documentation)
       segments/<xy>.jsonl   # appended rows, sharded by the key's first byte
+      segments/<xy>.idx     # disposable sidecar offset index (see store.index)
 
 Each segment line is one completed grid row::
 
@@ -12,32 +13,54 @@ Each segment line is one completed grid row::
      "trace": {...}?}
 
 Lines whose ``schema`` is not the current :data:`~repro.store.keys.SCHEMA_VERSION`
-are skipped on load (their keys could never match again anyway), so a schema
-bump cleanly retires old rows instead of mixing generations in ``rows()``.
+(including lines missing the field entirely) are retired on load — their keys
+could never match again anyway — so a schema bump cleanly retires old rows
+instead of mixing generations in ``rows()``.
 
-Rows are *appended* (one flushed line per completed cell), so a sweep killed
-at cell 9,000/10,000 keeps its first 9,000 rows; a truncated final line from
-a hard kill is skipped on load.  Keys are content-addressed
+Rows are *appended* (one unbuffered line write per completed cell), so a sweep
+killed at cell 9,000/10,000 keeps its first 9,000 rows; a truncated final line
+from a hard kill is skipped on load.  Keys are content-addressed
 (:mod:`repro.store.keys`): re-running a grid against the same store skips
 every cell whose key is already present, which is what makes
 ``run_grid(..., store=...)`` incremental and ``repro sweep --resume`` exact.
+
+Three scaling properties distinguish this implementation from a naive
+scan-everything store:
+
+* **Indexed opens** — opening a store loads each segment's sidecar offset
+  index (key → byte span of the winning line) instead of JSON-parsing every
+  row; segments that grew since their index was written are tail-scanned from
+  the first uncovered byte only.  ``describe()["scanned_lines"]`` reports how
+  many JSONL lines the open actually parsed (0 = fully indexed).
+* **Lazy reads** — only key → span maps are resident. ``get``/``get_trace``
+  seek-and-parse one line; ``rows()``/``iter_items()``/``iter_docs()`` stream
+  from disk on demand.  A span that fails to parse (e.g. the segment was
+  compacted by another process) triggers one self-healing reload before the
+  read is retried.
+* **Multi-writer safety** — appends go through ``O_APPEND`` file descriptors
+  under a per-segment advisory ``fcntl.flock``, so concurrent processes can
+  share one store without interleaving partial lines; each writer refreshes
+  the sidecar index under the same lock on :meth:`ResultStore.close`.
 
 The optional ``trace`` attachment carries a summary/none-level
 :class:`~repro.radio.trace.ExecutionTrace` as its aggregate fields (the form
 the batched backend produces via ``ExecutionTrace.from_aggregates``);
 :meth:`ResultStore.get_trace` rebuilds a trace that compares equal to the
-original.
+original.  The trace served for a key always belongs to the same line as the
+row served by ``get`` (the last valid line for that key).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 from pathlib import Path
-from typing import IO, Any, Dict, Iterator, List, Optional, Union
+from typing import IO, Any, Dict, Iterator, List, Optional, Set, Union
 
 from ..analysis.metrics import RunMetrics
 from ..radio.trace import ExecutionTrace
+from .index import SegmentIndex, load_segment_index, write_segment_index
 from .keys import SCHEMA_VERSION
 from .resultset import ResultSet, _row_dict_to_metrics
 
@@ -47,9 +70,55 @@ _FORMAT = "repro-result-store"
 _META_NAME = "store.json"
 _SEGMENTS_DIR = "segments"
 
+# Keys must be shard-prefix safe (they name segment files) and sidecar safe
+# (they are serialized on one comma-joined line).  Content-addressed sha256
+# hex keys trivially qualify; anything else is rejected at put() and treated
+# as junk when encountered in a hand-edited segment.
+_KEY_RE = re.compile(r"[A-Za-z0-9_-]+")
+
+try:
+    import fcntl
+
+    def _lock_exclusive(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+    def _unlock(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+except ImportError:  # pragma: no cover - non-POSIX fallback, single-writer only
+    def _lock_exclusive(fd: int) -> None:
+        pass
+
+    def _unlock(fd: int) -> None:
+        pass
+
 
 class StoreError(RuntimeError):
     """A result-store directory is missing, malformed or of a foreign format."""
+
+
+def locked_segment_fd(path: Path, *, create: bool = False) -> int:
+    """Open ``path`` and take its exclusive advisory lock, surviving renames.
+
+    After acquiring the lock the descriptor is re-checked against the path: a
+    concurrent compaction may have replaced the file between open and lock, in
+    which case the lock protects a dead inode and must be retaken on the new
+    one.  The caller owns the returned fd (unlock + close).
+    """
+    flags = os.O_RDWR | (os.O_CREAT if create else 0)
+    fd = os.open(path, flags, 0o644)
+    while True:
+        _lock_exclusive(fd)
+        try:
+            stat = os.stat(path)
+        except FileNotFoundError:
+            stat = None
+        here = os.fstat(fd)
+        if stat is not None and (stat.st_ino, stat.st_dev) == (here.st_ino, here.st_dev):
+            return fd
+        _unlock(fd)
+        os.close(fd)
+        fd = os.open(path, flags, 0o644)
 
 
 class ResultStore:
@@ -58,18 +127,41 @@ class ResultStore:
     Open with ``ResultStore(path)`` (creates the directory when missing) or
     ``ResultStore.open(path, require_existing=True)`` (the ``--resume``
     contract: resuming a sweep that never started is reported as an error
-    instead of silently starting cold).  Instances are context managers;
-    :meth:`close` releases the append handles.
+    instead of silently starting cold).  ``rebuild_index=True`` ignores the
+    sidecar ``.idx`` files and re-parses every segment line (a diagnostic /
+    benchmarking knob; the indexes are refreshed on :meth:`close`).
+    Instances are context managers; :meth:`close` writes the sidecar indexes
+    and releases the append descriptors (reading remains possible).
     """
 
-    def __init__(self, root: Union[str, os.PathLike], *, create: bool = True) -> None:
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        *,
+        create: bool = True,
+        rebuild_index: bool = False,
+    ) -> None:
         self.root = Path(root)
-        self._index: Dict[str, Dict[str, Any]] = {}
-        self._traces: Dict[str, Dict[str, Any]] = {}
-        self._order: List[str] = []
-        self._handles: Dict[str, IO[str]] = {}
+        # Parallel arrays, one slot per distinct key in first-appended order;
+        # _slot maps key -> slot.  A slot stores the byte span of the key's
+        # *winning* (last valid) line, so duplicate lines resolve to the same
+        # row/trace pair everywhere.
+        self._slot: Dict[str, int] = {}
+        self._keys: List[str] = []
+        self._offs: List[int] = []
+        self._lens: List[int] = []
+        self._shard_at: List[str] = []
+        # Per-shard bookkeeping for sidecar maintenance.
+        self._covered: Dict[str, int] = {}       # segment bytes our view accounts for
+        self._seg_skipped: Dict[str, int] = {}
+        self._seg_stale: Dict[str, int] = {}
+        self._dirty: Set[str] = set()            # shards whose sidecar is stale
+        self._repaired: Set[str] = set()         # shards tail-repaired this session
+        self._append_fds: Dict[str, int] = {}
+        self._readers: Dict[str, IO[bytes]] = {}
         self.skipped_lines = 0
         self.stale_lines = 0
+        self.scanned_lines = 0
         if self.root.exists() and not self.root.is_dir():
             raise StoreError(
                 f"{self.root} is not a directory; a result store needs a "
@@ -104,115 +196,323 @@ class ResultStore:
                 json.dumps({"format": _FORMAT, "schema_version": SCHEMA_VERSION},
                            indent=2) + "\n"
             )
-        self._scan()
+        self._load(rebuild_index=rebuild_index)
 
     @classmethod
     def open(
-        cls, root: Union[str, os.PathLike], *, require_existing: bool = False
+        cls,
+        root: Union[str, os.PathLike],
+        *,
+        require_existing: bool = False,
+        rebuild_index: bool = False,
     ) -> "ResultStore":
         """Open (or, unless ``require_existing``, create) the store at ``root``."""
-        return cls(root, create=not require_existing)
+        return cls(root, create=not require_existing, rebuild_index=rebuild_index)
 
     # ------------------------------------------------------------------ #
     # loading
     # ------------------------------------------------------------------ #
-    def _scan(self) -> None:
+    def _segment_path(self, shard: str) -> Path:
+        return self.root / _SEGMENTS_DIR / f"{shard}.jsonl"
+
+    def _load(self, *, rebuild_index: bool) -> None:
         segments = self.root / _SEGMENTS_DIR
-        if not segments.is_dir():
+        try:
+            with os.scandir(segments) as scan:
+                # scandir keeps per-segment fixed costs low: a store shards
+                # into up to 256 segments and open time is dominated by
+                # per-file overhead once the sidecars do the heavy lifting.
+                found = sorted(
+                    (entry.name, entry.path, entry.stat().st_size)
+                    for entry in scan
+                    if entry.name.endswith(".jsonl") and entry.is_file()
+                )
+        except OSError:
             return
-        for path in sorted(segments.glob("*.jsonl")):
-            with open(path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        doc = json.loads(line)
-                        key, row = doc["key"], doc["row"]
-                    except (ValueError, KeyError, TypeError):
-                        # A hard kill can truncate the final line of a
-                        # segment; the row it described was never reported
-                        # complete, so skipping it is exactly right.
-                        self.skipped_lines += 1
-                        continue
-                    if doc.get("schema", SCHEMA_VERSION) != SCHEMA_VERSION:
-                        # A row from before a schema bump: its key can never
-                        # match again, and surfacing it through rows() /
-                        # `repro results` would mix row generations.
-                        self.stale_lines += 1
-                        continue
-                    if key not in self._index:
-                        self._order.append(key)
-                    self._index[key] = row
-                    if doc.get("trace") is not None:
-                        self._traces[key] = doc["trace"]
+        for name, path, size in found:
+            shard = name[:-len(".jsonl")]
+            index = None
+            if not rebuild_index:
+                index = load_segment_index(path, segment_bytes=size,
+                                           schema=SCHEMA_VERSION)
+            if index is not None:
+                base = len(self._keys)
+                self._slot.update(zip(index.keys, range(base, base + len(index.keys))))
+                self._keys.extend(index.keys)
+                self._offs.extend(index.offsets)
+                self._lens.extend(index.lengths)
+                self._shard_at.extend([shard] * len(index.keys))
+                self._seg_skipped[shard] = index.skipped
+                self._seg_stale[shard] = index.stale
+                self.skipped_lines += index.skipped
+                self.stale_lines += index.stale
+                if index.segment_bytes < size:
+                    # The segment grew after its sidecar was written (another
+                    # writer, or a crash before close): parse only the tail.
+                    self._scan_segment(shard, path, index.segment_bytes)
+                    self._dirty.add(shard)
+            else:
+                self._scan_segment(shard, path, 0)
+                self._dirty.add(shard)
+            self._covered[shard] = size
+        if len(self._slot) != len(self._keys):
+            # A (forged/corrupt) sidecar smuggled duplicate keys past the
+            # fast path above; ground truth is the JSONL, so rebuild from it.
+            self._reset_memory()
+            self._load(rebuild_index=True)
+
+    def _scan_segment(self, shard: str, path: Union[str, os.PathLike], start: int) -> None:
+        """Parse segment lines in ``[start, EOF)``, recording winning spans."""
+        with open(path, "rb") as handle:
+            if start:
+                handle.seek(start)
+            offset = start
+            for raw in handle:
+                line_offset, length = offset, len(raw)
+                offset += length
+                self.scanned_lines += 1
+                stripped = raw.strip()
+                if not stripped:
+                    continue
+                try:
+                    doc = json.loads(stripped)
+                    key, row = doc["key"], doc["row"]
+                except (ValueError, KeyError, TypeError):
+                    # A hard kill can truncate the final line of a segment;
+                    # the row it described was never reported complete, so
+                    # skipping it is exactly right.
+                    self._count_skipped(shard)
+                    continue
+                if row is None or not isinstance(key, str) or not _KEY_RE.fullmatch(key):
+                    self._count_skipped(shard)
+                    continue
+                if doc.get("schema", 0) != SCHEMA_VERSION:
+                    # A row from before a schema bump — or from before rows
+                    # were versioned at all (no "schema" field): its key can
+                    # never match again, and surfacing it through rows() /
+                    # `repro results` would mix row generations.
+                    self._count_stale(shard)
+                    continue
+                self._record(key, shard, line_offset, length)
+
+    def _record(self, key: str, shard: str, offset: int, length: int) -> None:
+        slot = self._slot.get(key)
+        if slot is None:
+            self._slot[key] = len(self._keys)
+            self._keys.append(key)
+            self._offs.append(offset)
+            self._lens.append(length)
+            self._shard_at.append(shard)
+        else:
+            # Duplicate line for a known key: the last valid line wins, for
+            # the row and its trace attachment alike.
+            self._offs[slot] = offset
+            self._lens[slot] = length
+            self._shard_at[slot] = shard
+
+    def _count_skipped(self, shard: str) -> None:
+        self._seg_skipped[shard] = self._seg_skipped.get(shard, 0) + 1
+        self.skipped_lines += 1
+
+    def _count_stale(self, shard: str) -> None:
+        self._seg_stale[shard] = self._seg_stale.get(shard, 0) + 1
+        self.stale_lines += 1
+
+    def _reset_memory(self) -> None:
+        self._slot.clear()
+        self._keys.clear()
+        self._offs.clear()
+        self._lens.clear()
+        self._shard_at.clear()
+        self._covered.clear()
+        self._seg_skipped.clear()
+        self._seg_stale.clear()
+        self._dirty.clear()
+        self.skipped_lines = 0
+        self.stale_lines = 0
+        self.scanned_lines = 0
+        for handle in self._readers.values():
+            handle.close()
+        self._readers.clear()
+
+    def _reload(self) -> None:
+        """Re-derive the in-memory view from the JSONL ground truth."""
+        self._reset_memory()
+        self._load(rebuild_index=True)
 
     # ------------------------------------------------------------------ #
     # reading
     # ------------------------------------------------------------------ #
     def __contains__(self, key: str) -> bool:
-        return key in self._index
+        return key in self._slot
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._slot)
 
     def keys(self) -> List[str]:
         """All stored keys, in first-appended order."""
-        return list(self._order)
+        return list(self._keys)
+
+    def _reader(self, shard: str) -> IO[bytes]:
+        handle = self._readers.get(shard)
+        if handle is None:
+            handle = open(self._segment_path(shard), "rb")
+            self._readers[shard] = handle
+        return handle
+
+    def _read_span(self, slot: int, key: str) -> Dict[str, Any]:
+        handle = self._reader(self._shard_at[slot])
+        handle.seek(self._offs[slot])
+        doc = json.loads(handle.read(self._lens[slot]))
+        if not isinstance(doc, dict) or doc.get("key") != key:
+            raise ValueError(f"stale span for key {key}")
+        return doc
+
+    def _load_doc(self, key: str) -> Optional[Dict[str, Any]]:
+        """The full stored document for ``key`` (its winning line), or None.
+
+        Spans can go stale when another process rewrites a segment (e.g.
+        ``repro store compact`` against a store we hold open); the first
+        failed read reloads the view from disk and retries once.
+        """
+        slot = self._slot.get(key)
+        if slot is None:
+            return None
+        try:
+            return self._read_span(slot, key)
+        except (OSError, ValueError):
+            self._reload()
+            slot = self._slot.get(key)
+            if slot is None:
+                return None
+            try:
+                return self._read_span(slot, key)
+            except (OSError, ValueError) as exc:
+                raise StoreError(
+                    f"unreadable row for key {key} in {self.root}: {exc}"
+                ) from exc
 
     def get(self, key: str) -> Optional[RunMetrics]:
-        """The stored row for ``key``, or ``None`` when absent."""
-        doc = self._index.get(key)
-        return None if doc is None else _row_dict_to_metrics(doc)
+        """The stored row for ``key``, or ``None`` when absent (one O(1) seek)."""
+        doc = self._load_doc(key)
+        return None if doc is None else _row_dict_to_metrics(doc["row"])
 
     def get_trace(self, key: str) -> Optional[ExecutionTrace]:
-        """The stored trace attachment for ``key`` rebuilt from its aggregates."""
-        doc = self._traces.get(key)
-        return None if doc is None else ExecutionTrace.from_aggregates_doc(doc)
+        """The trace attached to the *winning* line of ``key``, or ``None``.
+
+        Reading the trace from the same line that supplies the row guarantees
+        ``get``/``get_trace`` can never serve a row/trace pair from two
+        different generations of a duplicated key.
+        """
+        doc = self._load_doc(key)
+        if doc is None or doc.get("trace") is None:
+            return None
+        return ExecutionTrace.from_aggregates_doc(doc["trace"])
+
+    def iter_docs(self) -> Iterator[Dict[str, Any]]:
+        """Stream full stored documents in first-appended order, lazily."""
+        for key in list(self._keys):
+            doc = self._load_doc(key)
+            if doc is not None:
+                yield doc
 
     def rows(self) -> ResultSet:
-        """Every stored row as a columnar ResultSet, in first-appended order."""
-        return ResultSet.from_dicts(self._index[key] for key in self._order)
+        """Every stored row as a columnar ResultSet, in first-appended order.
+
+        Rows are streamed from disk into the columnar buffers — the JSON
+        documents are never all resident at once.
+        """
+        return ResultSet.from_dicts(doc["row"] for doc in self.iter_docs())
 
     def iter_items(self) -> Iterator[tuple]:
-        """Iterate ``(key, RunMetrics)`` pairs in first-appended order."""
-        for key in self._order:
-            yield key, _row_dict_to_metrics(self._index[key])
+        """Iterate ``(key, RunMetrics)`` pairs in first-appended order, lazily."""
+        for doc in self.iter_docs():
+            yield doc["key"], _row_dict_to_metrics(doc["row"])
 
     def describe(self) -> Dict[str, Any]:
-        """Summary facts: row count, segment count, schema version, path."""
+        """Summary facts: row count, segment count, schema version, path.
+
+        ``scanned_lines`` is the number of JSONL lines the open had to parse;
+        0 means every segment was served entirely by its sidecar index.
+        """
         segments = self.root / _SEGMENTS_DIR
         return {
             "path": str(self.root),
-            "rows": len(self._index),
+            "rows": len(self._slot),
             "segments": len(list(segments.glob("*.jsonl"))) if segments.is_dir() else 0,
             "schema_version": self.schema_version,
             "skipped_lines": self.skipped_lines,
             "stale_lines": self.stale_lines,
+            "scanned_lines": self.scanned_lines,
         }
 
     # ------------------------------------------------------------------ #
     # writing
     # ------------------------------------------------------------------ #
-    def _handle(self, key: str) -> IO[str]:
-        shard = key[:2]
-        if shard not in self._handles:
-            path = self.root / _SEGMENTS_DIR / f"{shard}.jsonl"
+    def _append_fd(self, shard: str) -> int:
+        fd = self._append_fds.get(shard)
+        if fd is None:
+            path = self._segment_path(shard)
             path.parent.mkdir(parents=True, exist_ok=True)
-            handle = open(path, "a", encoding="utf-8")
-            if handle.tell() > 0:
+            fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+            self._append_fds[shard] = fd
+        return fd
+
+    def _locked_append_fd(self, shard: str) -> int:
+        """The shard's O_APPEND descriptor with its exclusive lock held.
+
+        Like :func:`locked_segment_fd`, the inode is re-checked after locking
+        so a writer never appends to a segment file that a concurrent
+        compaction already replaced (those bytes would be silently lost with
+        the old inode).
+        """
+        path = self._segment_path(shard)
+        fd = self._append_fd(shard)
+        while True:
+            _lock_exclusive(fd)
+            try:
+                stat = os.stat(path)
+            except FileNotFoundError:
+                stat = None
+            here = os.fstat(fd)
+            if stat is not None and (stat.st_ino, stat.st_dev) == (here.st_ino, here.st_dev):
+                return fd
+            _unlock(fd)
+            os.close(fd)
+            fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+            self._append_fds[shard] = fd
+            # Whatever we believed about this segment predates the rewrite.
+            self._covered[shard] = 0
+            reader = self._readers.pop(shard, None)
+            if reader is not None:
+                reader.close()
+
+    def _append_line(self, shard: str, data: bytes) -> int:
+        """Append ``data`` under the segment lock; returns its byte offset."""
+        fd = self._locked_append_fd(shard)
+        try:
+            end = os.lseek(fd, 0, os.SEEK_END)
+            if shard not in self._repaired:
                 # A hard kill mid-write can leave a truncated final line.
                 # Appending straight after it would glue the next (good) row
                 # onto the junk, turning one unparseable line into two lost
                 # rows — the good row would be shadowed forever.  Terminate
                 # the partial line so every new row starts on its own line.
-                with open(path, "rb") as probe:
-                    probe.seek(-1, os.SEEK_END)
-                    if probe.read(1) != b"\n":
-                        handle.write("\n")
-                        handle.flush()
-            self._handles[shard] = handle
-        return self._handles[shard]
+                if end > 0 and os.pread(fd, 1, end - 1) != b"\n":
+                    os.write(fd, b"\n")
+                    end += 1
+                self._repaired.add(shard)
+            os.write(fd, data)
+        finally:
+            _unlock(fd)
+        covered = self._covered.get(shard, 0)
+        if end in (covered, covered + 1):  # +1 absorbs our own repair newline
+            self._covered[shard] = end + len(data)
+        # else: a concurrent writer appended bytes we have not scanned;
+        # close() tail-scans [covered, EOF) under the lock before writing
+        # the sidecar, so coverage claims stay truthful.
+        self._dirty.add(shard)
+        return end
 
     def put(
         self,
@@ -223,36 +523,97 @@ class ResultStore:
     ) -> bool:
         """Append one completed row (idempotent; returns False on duplicates).
 
-        The line is flushed immediately: a row that has been yielded to the
-        caller is on disk, which is the durability contract resume relies on.
+        The line hits the segment in a single unbuffered ``write`` under the
+        segment lock: a row that has been yielded to the caller is on disk,
+        which is the durability contract resume relies on, and concurrent
+        writers in other processes can never interleave partial lines.
         A ``trace`` attachment must be a summary/none-level trace (the store
         persists its aggregate fields; see ``ExecutionTrace.to_aggregates``).
         """
-        if key in self._index:
+        if not isinstance(key, str) or not _KEY_RE.fullmatch(key):
+            raise StoreError(
+                f"invalid store key {key!r}: keys must be non-empty strings "
+                f"over [A-Za-z0-9_-]"
+            )
+        if key in self._slot:
             return False
         doc: Dict[str, Any] = {"key": key, "schema": SCHEMA_VERSION,
                                "row": row.as_dict()}
         if trace is not None:
             doc["trace"] = trace.to_aggregates()
-        handle = self._handle(key)
-        handle.write(json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
-        handle.flush()
-        self._index[key] = doc["row"]
-        self._order.append(key)
-        if trace is not None:
-            self._traces[key] = doc["trace"]
+        data = (json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n").encode("utf-8")
+        shard = key[:2]
+        offset = self._append_line(shard, data)
+        self._record(key, shard, offset, len(data))
         return True
 
     def flush(self) -> None:
-        """Flush every open segment handle."""
-        for handle in self._handles.values():
-            handle.flush()
+        """No-op, kept for API compatibility: appends are unbuffered writes."""
+
+    def _write_indexes(self) -> None:
+        """Refresh the sidecar index of every dirty shard (best-effort).
+
+        Runs under each segment's lock; if concurrent writers appended bytes
+        beyond our coverage, the uncovered tail is scanned first so the
+        sidecar never claims to cover lines it did not account for.  The
+        last closer wins with a fully-covering index.
+        """
+        for shard in sorted(self._dirty):
+            path = self._segment_path(shard)
+            try:
+                fd = locked_segment_fd(path)
+            except OSError:
+                continue
+            try:
+                size = os.fstat(fd).st_size
+                covered = self._covered.get(shard, 0)
+                if covered < size:
+                    self._scan_segment(shard, path, covered)
+                    self._covered[shard] = size
+                slots = [s for s, sh in enumerate(self._shard_at) if sh == shard]
+                write_segment_index(path, SegmentIndex(
+                    segment_bytes=size,
+                    schema=SCHEMA_VERSION,
+                    skipped=self._seg_skipped.get(shard, 0),
+                    stale=self._seg_stale.get(shard, 0),
+                    keys=[self._keys[s] for s in slots],
+                    offsets=[self._offs[s] for s in slots],
+                    lengths=[self._lens[s] for s in slots],
+                ))
+            except OSError:
+                continue
+            finally:
+                _unlock(fd)
+                os.close(fd)
+        self._dirty.clear()
+
+    def compact(self) -> Dict[str, Any]:
+        """Compact every segment in place and reload; returns the stats dict.
+
+        See :func:`repro.store.compact.compact_store` — duplicate keys,
+        retired-schema lines and junk (torn-tail) lines are dropped, segments
+        are rewritten atomically, and sidecar indexes are refreshed.  The
+        in-memory view is reloaded from the compacted segments, so the store
+        stays fully usable (reads and writes) afterwards.
+        """
+        from .compact import compact_store
+
+        stats = compact_store(self.root)
+        self._reset_memory()
+        self._load(rebuild_index=False)
+        return stats
 
     def close(self) -> None:
-        """Close the append handles (reading remains possible)."""
-        for handle in self._handles.values():
-            handle.close()
-        self._handles.clear()
+        """Write sidecar indexes and release descriptors (reading still works)."""
+        try:
+            self._write_indexes()
+        finally:
+            for fd in self._append_fds.values():
+                os.close(fd)
+            self._append_fds.clear()
+            for handle in self._readers.values():
+                handle.close()
+            self._readers.clear()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -261,4 +622,4 @@ class ResultStore:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ResultStore({str(self.root)!r}, rows={len(self._index)})"
+        return f"ResultStore({str(self.root)!r}, rows={len(self._slot)})"

@@ -261,6 +261,45 @@ class TestSessionCommands:
         out = capsys.readouterr().out
         assert "status" in out and "error:RuntimeError" in out
 
+    def test_results_csv_on_a_fresh_store_keeps_the_header(self, capsys, tmp_path):
+        # Regression: an empty export used to emit zero bytes, breaking
+        # downstream CSV concatenation/readers.
+        from repro.store import ResultStore
+
+        ResultStore(tmp_path / "s").close()
+        assert main(["results", str(tmp_path / "s"), "--output", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("scheme,family,n,")
+        assert len(out.splitlines()) == 1
+
+    def test_store_describe_reports_counters(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(self.SWEEP + ["--store", store, "--output", "csv"]) == 0
+        capsys.readouterr()
+        assert main(["store", "describe", store]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rows"] == 4
+        assert doc["scanned_lines"] == 0  # reopened straight off the sidecars
+
+    def test_store_compact_then_resume_still_hits_every_cell(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(self.SWEEP + ["--store", store, "--output", "json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["store", "compact", store]) == 0
+        captured = capsys.readouterr()
+        stats = json.loads(captured.out)
+        assert stats["rows_kept"] == 4
+        assert "[compact]" in captured.err
+        assert main(self.SWEEP + ["--store", store, "--resume",
+                                  "--output", "json"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == first
+        assert "cached=4 computed=0 failed=0" in captured.err
+
+    def test_store_compact_refuses_a_missing_store(self, capsys, tmp_path):
+        assert main(["store", "compact", str(tmp_path / "nope")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
     def test_strict_sweep_aborts_with_the_cell_spec(self, monkeypatch):
         from repro.analysis.executor import GridExecutionError
         from repro.api.schemes import LambdaScheme

@@ -203,7 +203,8 @@ class TestResultStore:
             store.put("aa" + "1" * 62, rows[1])
             store.put("bb" + "0" * 62, rows[2])
         segments = sorted(p.name for p in (tmp_path / "s" / "segments").glob("*"))
-        assert segments == ["aa.jsonl", "bb.jsonl"]
+        # close() leaves one sidecar offset index next to each segment
+        assert segments == ["aa.idx", "aa.jsonl", "bb.idx", "bb.jsonl"]
         assert ResultStore(tmp_path / "s").describe()["segments"] == 2
 
     def test_truncated_final_line_is_skipped(self, tmp_path):
@@ -464,7 +465,10 @@ class TestResultSetEdgeCases:
             agg = rows.aggregate("completion_round")
         assert agg["count"] == 0
         assert np.isnan(agg["mean"])
-        assert rows.to_csv() == "" and rows.to_dicts() == []
+        # An empty set still exports a CSV header (concatenable downstream).
+        assert rows.to_csv().startswith("scheme,family,n,")
+        assert rows.to_csv().count("\n") == 1
+        assert rows.to_dicts() == []
         assert rows.filter(scheme="lambda") == []
         assert rows.groupby("scheme") == {}
 

@@ -32,16 +32,46 @@ SIZES = [32, 64, 128, 256, 512]
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
 
+def _machine_provenance() -> dict:
+    """The recording machine's capabilities, stamped on every section.
+
+    ``sharded_rows``/``ell_rows`` history taught the lesson: numbers recorded
+    on a 1-core numba-less box look like regressions on real hardware unless
+    the recording machine is machine-readable next to them.
+    """
+    import os
+
+    from repro.backends import jit_available
+
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "jit_available": bool(jit_available()),
+    }
+
+
 def _merge_bench_json(key: str, rows) -> None:
-    """Update one section of BENCH_scaling.json, preserving the others."""
+    """Update one section of BENCH_scaling.json, preserving the others.
+
+    Each section is ``{"machine": {...}, "rows": [...]}`` — the rows wrapped
+    with the recording machine's provenance.  Sections written by older
+    revisions as bare row lists are preserved as-is until their benchmark
+    next runs; :func:`_section_rows` reads both shapes.
+    """
     doc = {}
     if BENCH_JSON.exists():
         try:
             doc = json.loads(BENCH_JSON.read_text())
         except ValueError:
             doc = {}
-    doc[key] = rows
+    doc[key] = {"machine": _machine_provenance(), "rows": rows}
     BENCH_JSON.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def _section_rows(section):
+    """The row list of a section, whether provenance-wrapped or legacy bare."""
+    if isinstance(section, dict):
+        return section["rows"]
+    return section
 
 #: (family, n) cells of the backend comparison.  gnp_sparse at n=2048 covers
 #: the "n >= 2000 plain broadcast" acceptance point; the path cell stays at
@@ -611,6 +641,84 @@ def bench_store_index(request):
         f"indexed open: {indexed_open:.4f}s ({speedup:.0f}x); warm get: "
         f"{lookups / len(sample) * 1e6:.1f}us, contains: "
         f"{contains_s / len(sample) * 1e6:.2f}us per key",
+    )
+
+
+def bench_service_sweep(request):
+    """A grid over the wire: coordinator + 2 workers; ``service_sweep``.
+
+    The sweep-as-a-service topology end to end, in process: an asyncio
+    coordinator on a real localhost socket, two workers, a blocking
+    ``ServiceClient``.  The cold pass fans every cell out to the workers;
+    the warm resubmission must be answered 100% from the coordinator's
+    store with **zero backend invocations** (workers run thread pools in
+    the harness precisely so a patched ``ReferenceBackend`` in this process
+    counts every call), and both passes must be bit-identical to a local
+    ``run_grid``.  Records rows/s over the wire for both passes and the
+    per-row warm-serve latency; ``--quick`` shrinks the grid.
+    """
+    import tempfile
+
+    from repro.api import GridConfig, run_grid
+    from repro.backends import ReferenceBackend
+    from repro.service import ServiceClient, ServiceHarness
+
+    quick = request.config.getoption("--quick")
+    cfg = GridConfig(
+        families=["path", "gnp_sparse"],
+        sizes=[32] if quick else [32, 64],
+        seeds_per_size=2 if quick else 8,
+        schemes=["lambda", "round_robin"],
+    )
+    invocations = []
+    original = ReferenceBackend.run_task
+
+    def counting(self, task):
+        invocations.append(1)
+        return original(self, task)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ReferenceBackend.run_task = counting
+        try:
+            with ServiceHarness(Path(tmp) / "svc", workers=2) as svc:
+                with ServiceClient(svc.address) as client:
+                    start = time.perf_counter()
+                    cold_rows = client.submit(cfg)
+                    cold_wall = time.perf_counter() - start
+                    cold_calls = len(invocations)
+                    start = time.perf_counter()
+                    warm_rows = client.submit(cfg)
+                    warm_wall = time.perf_counter() - start
+                    warm_calls = len(invocations) - cold_calls
+                    warm_summary = dict(client.last_summary)
+        finally:
+            ReferenceBackend.run_task = original
+        local_rows = run_grid(cfg)
+
+    total = len(cold_rows)
+    assert list(cold_rows) == list(local_rows), "remote rows must equal local"
+    assert list(warm_rows) == list(local_rows)
+    assert cold_calls == total, "cold pass computes every cell via workers"
+    assert warm_calls == 0, "warm pass must not touch a backend"
+    assert warm_summary["computed"] == 0 and warm_summary["cached"] == total
+    _merge_bench_json("service_sweep", [{
+        "rows": total,
+        "workers": 2,
+        "cold_seconds": round(cold_wall, 4),
+        "warm_seconds": round(warm_wall, 4),
+        "cold_rows_per_sec": round(total / cold_wall, 1),
+        "warm_rows_per_sec": round(total / warm_wall, 1),
+        "warm_serve_us_per_row": round(warm_wall / total * 1e6, 1),
+        "cold_backend_calls": cold_calls,
+        "warm_backend_calls": warm_calls,
+    }])
+    report(
+        "E10g — sweep-as-a-service (coordinator + 2 workers over localhost)",
+        f"{total} rows; cold: {cold_wall:.2f}s "
+        f"({total / cold_wall:.0f} rows/s over the wire, {cold_calls} backend "
+        f"calls), warm: {warm_wall:.3f}s ({total / warm_wall:.0f} rows/s, "
+        f"0 backend calls, {warm_wall / total * 1e6:.0f}us/row served "
+        f"from cache)",
     )
 
 

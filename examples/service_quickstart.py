@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Sweep as a service: one coordinator, two workers, warm-cache resubmission.
+
+A paper-scale comparison grid is usually swept many times — after every code
+review round, on every machine, by every coauthor.  `repro.service` turns the
+content-addressed `ResultStore` into a network service so those sweeps share
+one cache:
+
+1. start a coordinator serving a store directory (here in-process via
+   `ServiceHarness`; on real machines: `repro serve DIR --listen :7341`),
+2. attach two workers that lease cells, execute them, and stream rows back
+   (`repro worker HOST:7341 --jobs N`),
+3. submit a grid with `ServiceClient.submit(cfg)` — uncached cells fan out
+   across the workers, every completed row lands in the store, and the
+   client reassembles a ResultSet bit-identical to a local `run_grid(cfg)`,
+4. submit the *same* grid again: the coordinator answers entirely from the
+   store — zero backend invocations anywhere — at in-memory latency,
+5. query stored rows remotely (`repro query --connect ... --schemes lambda`)
+   without rerunning anything.
+
+Run:  python examples/service_quickstart.py [--store DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+from repro import api
+from repro.service import ServiceClient, ServiceHarness
+
+
+def build_config() -> api.GridConfig:
+    """2 families x 2 sizes x 2 seeds x 2 schemes = 16 cells."""
+    return api.GridConfig(
+        families=["path", "gnp_sparse"],
+        sizes=[16, 32],
+        seeds_per_size=2,
+        schemes=["lambda", "round_robin"],
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default=None,
+                        help="store directory (default: a temp dir)")
+    args = parser.parse_args()
+
+    cfg = build_config()
+    total = len(api.grid_row_specs(cfg))
+    workdir = args.store or tempfile.mkdtemp(prefix="repro-service-")
+    store_dir = Path(workdir) / "store"
+
+    # --- The whole topology, in this process. ----------------------------
+    with ServiceHarness(store_dir, workers=2) as svc:
+        print(f"Coordinator listening on {svc.address} "
+              f"with {len(svc.workers)} workers (store: {store_dir})")
+
+        with ServiceClient(svc.address) as client:
+            # --- Cold pass: every cell computed, fanned across workers. --
+            t0 = time.perf_counter()
+            cold = client.submit(cfg)
+            cold_s = time.perf_counter() - t0
+            s = client.last_summary
+            print(f"Cold submit: {s['computed']} computed / "
+                  f"{s['cached']} cached of {s['total']} cells "
+                  f"in {cold_s:.2f}s")
+            assert s["computed"] == total and s["failed"] == 0
+
+            # --- Warm pass: the same grid is now 100% cache hits. --------
+            t0 = time.perf_counter()
+            warm = client.submit(cfg)
+            warm_s = time.perf_counter() - t0
+            s = client.last_summary
+            print(f"Warm submit: {s['computed']} computed / "
+                  f"{s['cached']} cached in {warm_s*1000:.1f}ms "
+                  f"({warm_s/total*1e6:.0f}us per row, served from the store)")
+            assert s["computed"] == 0, "warm pass must compute nothing"
+            assert s["cached"] == total
+            assert warm == cold, "cache must be bit-stable"
+
+            # --- Remote rows are exactly what a local sweep produces. ----
+            local = api.run_grid(cfg)
+            assert cold == local, "remote must be bit-identical to local"
+            print("Remote rows are bit-identical to a local run_grid. [OK]")
+
+            # --- Query the served store without recomputing. -------------
+            lam = client.query(schemes=["lambda"], status="ok")
+            stats = lam.aggregate("completion_round")
+            print(f"Remote query: {len(lam)} lambda rows, completion "
+                  f"mean={stats['mean']:.1f} max={stats['max']:.0f}")
+
+        counters = svc.describe()
+        print(f"Coordinator counters: computed={counters['computed']} "
+              f"served_cached={counters['served_cached']} "
+              f"workers_seen={counters['workers_seen']}")
+
+    # The store outlives the service: local sweeps resume from it too.
+    with api.ResultStore(store_dir) as store:
+        print(f"Store holds {len(store)} rows; a local "
+              f"`repro sweep ... --store {store_dir} --resume` or another "
+              f"`repro serve` session reuses every one of them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,12 @@ guaranteed identical to per-cell execution.
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import asdict, dataclass, replace
 from typing import (
     Any,
@@ -315,6 +320,7 @@ def _run_units(
     backend: Any,
     trace_level: str,
     strict: bool = True,
+    retries: int = 0,
 ) -> List[RunMetrics]:
     """Run a contiguous span of work units, one backend call per unit.
 
@@ -323,6 +329,12 @@ def _run_units(
     are pure functions of (graph, source, payload)), then reused across the
     fault/clock rows.  ``_payload_text`` reaches the one scheme whose label
     step depends on the payload (bit signalling); the others swallow it.
+
+    ``retries`` re-runs a failing *cell* up to that many extra times with
+    fresh fault/clock model objects before the strict/non-strict failure
+    handling applies — results are unchanged for deterministic failures
+    (same seeds, same memoised coin flips) but a transient fault (OOM, a
+    signal) gets one more chance instead of poisoning the sweep.
     """
     from ..analysis.sweep import materialize_instance  # local: avoids import cycle
 
@@ -348,26 +360,36 @@ def _run_units(
 
             scheme = get_scheme(scheme_name)
             try:
-                options = scheme.grid_options(instance.graph, instance.source)
-                if scheme_name not in labels_infos:
-                    labels_infos[scheme_name] = scheme.build_labels(
-                        instance.graph, instance.source,
-                        _payload_text=str(config.payload), **options,
-                    )
-                # Fresh model objects per run: fault models memoise coin
-                # flips, and a shared instance across rows would make results
-                # depend on execution order (and break jobs-independence).
-                outcome = scheme.run(
-                    instance.graph,
-                    instance.source,
-                    payload=config.payload,
-                    labels_info=labels_infos[scheme_name],
-                    fault_model=fault_model_from_spec(fault_spec),
-                    clock_model=clock_model_from_spec(clock_spec, instance.graph.n),
-                    backend=backend,
-                    trace_level=trace_level,
-                    **options,
-                )
+                outcome = None
+                for attempt in range(max(0, int(retries)) + 1):
+                    try:
+                        options = scheme.grid_options(instance.graph,
+                                                      instance.source)
+                        if scheme_name not in labels_infos:
+                            labels_infos[scheme_name] = scheme.build_labels(
+                                instance.graph, instance.source,
+                                _payload_text=str(config.payload), **options,
+                            )
+                        # Fresh model objects per run (and per retry): fault
+                        # models memoise coin flips, and a shared instance
+                        # across rows would make results depend on execution
+                        # order (and break jobs-independence).
+                        outcome = scheme.run(
+                            instance.graph,
+                            instance.source,
+                            payload=config.payload,
+                            labels_info=labels_infos[scheme_name],
+                            fault_model=fault_model_from_spec(fault_spec),
+                            clock_model=clock_model_from_spec(
+                                clock_spec, instance.graph.n),
+                            backend=backend,
+                            trace_level=trace_level,
+                            **options,
+                        )
+                        break
+                    except Exception:
+                        if attempt >= retries:
+                            raise
             except Exception as exc:
                 if strict:
                     raise _cell_error(exc, scheme_name, instance, fault_spec,
@@ -401,6 +423,7 @@ def _run_units_batched(
     trace_level: str,
     batch_size: int,
     strict: bool = True,
+    retries: int = 0,
 ) -> List[RunMetrics]:
     """Run a span of work units with compatible units batched together.
 
@@ -427,7 +450,8 @@ def _run_units_batched(
         rows.extend(
             _run_unit_window_batched(config, span, backend=backend,
                                      trace_level=trace_level,
-                                     batch_size=batch_size, strict=strict)
+                                     batch_size=batch_size, strict=strict,
+                                     retries=retries)
         )
     return rows
 
@@ -440,6 +464,7 @@ def _run_unit_window_batched(
     trace_level: str,
     batch_size: int,
     strict: bool,
+    retries: int = 0,
 ) -> List[RunMetrics]:
     """One window of the batched path: materialize, group, stack, derive."""
     from ..analysis.executor import GridExecutionError, chunk_specs
@@ -520,13 +545,23 @@ def _run_unit_window_batched(
             except GridExecutionError:
                 raise
             except Exception:
-                # Replay per task to attribute the failure to one cell spec.
+                # Replay per task to attribute the failure to one cell spec
+                # (with ``retries`` extra chances per task: kernels are
+                # deterministic, so only a transient failure changes outcome).
                 results = []
                 for task, (index, unit) in zip(tasks, metas):
                     family, size, rep, fault_spec, clock_spec, scheme_name = unit
                     instance = instances[(family, size, rep)]
                     try:
-                        results.append(backend_obj.run_batch([task])[0])
+                        replay = None
+                        for attempt in range(max(0, int(retries)) + 1):
+                            try:
+                                replay = backend_obj.run_batch([task])[0]
+                                break
+                            except Exception:
+                                if attempt >= retries:
+                                    raise
+                        results.append(replay)
                     except Exception as exc:
                         if strict:
                             raise _cell_error(exc, scheme_name, instance,
@@ -570,19 +605,21 @@ def _run_unit_window_batched(
 #: One work unit chunk crossing the pool boundary: the grid config (as a
 #: dict), a list of unit specs and the execution knobs — all plain picklable
 #: data.
-_ChunkPayload = Tuple[dict, List[UnitSpec], Optional[str], str, Optional[int], bool]
+_ChunkPayload = Tuple[dict, List[UnitSpec], Optional[str], str, Optional[int],
+                      bool, int]
 
 
 def _run_grid_chunk(payload: _ChunkPayload) -> List[RunMetrics]:
     """Worker entry point: rematerialize each unit's cell and run its scheme."""
-    config_dict, chunk, backend, trace_level, batch_size, strict = payload
+    config_dict, chunk, backend, trace_level, batch_size, strict, retries = payload
     config = GridConfig(**config_dict)
     if batch_size is not None:
         return _run_units_batched(config, chunk, backend=backend,
                                   trace_level=trace_level,
-                                  batch_size=batch_size, strict=strict)
+                                  batch_size=batch_size, strict=strict,
+                                  retries=retries)
     return _run_units(config, chunk, backend=backend, trace_level=trace_level,
-                      strict=strict)
+                      strict=strict, retries=retries)
 
 
 @dataclass(frozen=True)
@@ -624,6 +661,7 @@ def iter_grid(
     ordered: bool = False,
     store: Optional[ResultStore] = None,
     strict: bool = True,
+    retries: int = 0,
     on_cell: Optional[Callable[[RunMetrics], None]] = None,
     on_chunk: Optional[Callable[[GridProgress], None]] = None,
 ) -> Iterator[RunMetrics]:
@@ -653,6 +691,15 @@ def iter_grid(
         :class:`~repro.analysis.executor.GridExecutionError` (naming the
         cell spec and store key); ``False`` records failures as
         ``status="error:..."`` rows and keeps going.
+    retries:
+        Extra attempts for transient failures before the ``strict`` handling
+        applies, at two levels: each failing *cell* is re-run with fresh
+        fault/clock models, and a chunk whose **pool worker process died**
+        (``BrokenProcessPool`` — a kill -9, an OOM reap) is resubmitted to a
+        rebuilt pool instead of aborting the sweep.  Deterministic failures
+        produce identical rows either way; the service path runs workers
+        with ``retries=1`` and shares this accounting with the coordinator's
+        lease expiry.  Default ``0`` (historical behavior).
     on_cell:
         Called with each row right before it is yielded.
     on_chunk:
@@ -699,11 +746,14 @@ def iter_grid(
                 f"{backend_name!r}; run with jobs=1 to use a custom backend object"
             )
         backend = backend_name
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     units = grid_row_specs(config)
     return _iter_grid_stream(
         config, units, backend=backend, trace_level=trace_level, jobs=jobs,
         chunk_size=chunk_size, batch_size=batch_size, ordered=ordered,
-        store=store, strict=strict, on_cell=on_cell, on_chunk=on_chunk,
+        store=store, strict=strict, retries=int(retries),
+        on_cell=on_cell, on_chunk=on_chunk,
     )
 
 
@@ -725,6 +775,7 @@ def _iter_grid_stream(
     ordered: bool,
     store: Optional[ResultStore],
     strict: bool,
+    retries: int,
     on_cell: Optional[Callable[[RunMetrics], None]],
     on_chunk: Optional[Callable[[GridProgress], None]],
 ) -> Iterator[RunMetrics]:
@@ -830,7 +881,7 @@ def _iter_grid_stream(
 
     payloads: List[_ChunkPayload] = [
         (asdict(config), [units[i] for i in chunk], backend, trace_level,
-         batch_size, strict)
+         batch_size, strict, retries)
         for chunk in index_chunks
     ]
 
@@ -845,10 +896,11 @@ def _iter_grid_stream(
                 yield row
         return
 
-    pool = ProcessPoolExecutor(max_workers=min(jobs, len(index_chunks)))
+    workers = min(jobs, len(index_chunks))
+    pool = ProcessPoolExecutor(max_workers=workers)
     try:
-        futures = {
-            pool.submit(_run_grid_chunk, payload): chunk
+        futures: Dict[Any, Tuple[List[int], _ChunkPayload, int]] = {
+            pool.submit(_run_grid_chunk, payload): (chunk, payload, 0)
             for chunk, payload in zip(index_chunks, payloads)
         }
         outstanding = set(futures)
@@ -858,16 +910,58 @@ def _iter_grid_stream(
             # failure: completed work survives into the store even when a
             # sibling chunk kills the sweep.
             first_error: Optional[BaseException] = None
+            broken: List[Tuple[List[int], _ChunkPayload, int]] = []
+            pool_error: Optional[BaseException] = None
             for future in done:
                 error = future.exception()
-                if error is not None:
+                if error is None:
+                    chunk, _payload, _attempt = futures.pop(future)
+                    _persist_and_stage(chunk, future.result())
+                    if on_chunk:
+                        on_chunk(progress)
+                elif isinstance(error, BrokenExecutor):
+                    broken.append(futures.pop(future))
+                    pool_error = error
+                else:
                     first_error = first_error or error
-                    continue
-                _persist_and_stage(futures[future], future.result())
-                if on_chunk:
-                    on_chunk(progress)
             if first_error is not None:
                 raise first_error
+            if broken:
+                # A pool worker process died (kill -9, OOM reap): the
+                # executor is broken and every outstanding future fails with
+                # the same BrokenProcessPool.  Drain them all, then rebuild
+                # the pool and resubmit each lost chunk — one consumed
+                # attempt per chunk, the same accounting the service
+                # coordinator applies to an expired lease.
+                for future in wait(outstanding)[0]:
+                    error = future.exception()
+                    if error is None:
+                        chunk, _payload, _attempt = futures.pop(future)
+                        _persist_and_stage(chunk, future.result())
+                        if on_chunk:
+                            on_chunk(progress)
+                    else:
+                        broken.append(futures.pop(future))
+                outstanding = set()
+                exhausted = [item for item in broken if item[2] >= retries]
+                survivors = [item for item in broken if item[2] < retries]
+                if exhausted and strict:
+                    raise pool_error  # type: ignore[misc]
+                for chunk, _payload, _attempt in exhausted:
+                    _persist_and_stage(chunk, [
+                        _failure_row(units[i][5], units[i][0], units[i][1],
+                                     units[i][3], units[i][4], pool_error)
+                        for i in chunk
+                    ])
+                    if on_chunk:
+                        on_chunk(progress)
+                pool.shutdown(wait=False, cancel_futures=True)
+                if survivors:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    for chunk, payload, attempt in survivors:
+                        future = pool.submit(_run_grid_chunk, payload)
+                        futures[future] = (chunk, payload, attempt + 1)
+                        outstanding.add(future)
             for row in _drain():
                 if on_cell:
                     on_cell(row)
@@ -890,6 +984,7 @@ def run_grid(
     batch_size: Optional[int] = None,
     store: Optional[ResultStore] = None,
     strict: bool = True,
+    retries: int = 0,
     on_cell: Optional[Callable[[RunMetrics], None]] = None,
     on_chunk: Optional[Callable[[GridProgress], None]] = None,
 ) -> ResultSet:
@@ -928,6 +1023,9 @@ def run_grid(
     strict:
         ``False`` records failing cells as ``status="error:..."`` rows
         instead of aborting (see :func:`iter_grid`).
+    retries:
+        Extra attempts for transiently failing cells and for chunks lost to
+        a died pool worker process (see :func:`iter_grid`).
     on_cell / on_chunk:
         Progress callbacks (see :func:`iter_grid`).
     """
@@ -942,6 +1040,7 @@ def run_grid(
             ordered=True,
             store=store,
             strict=strict,
+            retries=retries,
             on_cell=on_cell,
             on_chunk=on_chunk,
         )

@@ -17,7 +17,16 @@ Installed as ``python -m repro`` (see :mod:`repro.__main__`).  Subcommands:
   are never recomputed, and ``--resume`` picks an interrupted sweep up
   exactly where it died; ``--keep-going`` records failing cells as
   status rows instead of aborting;
-* ``results``    — filter/export the rows of a result store directory.
+* ``results``    — filter/export the rows of a result store directory;
+* ``serve``      — run the sweep-as-a-service coordinator over a result
+  store (``repro serve DIR --listen HOST:PORT``): submissions are expanded
+  into content-addressed cells, cached cells are served from the store at
+  in-memory latency, the rest fan out to connected workers;
+* ``worker``     — join a coordinator as a compute worker
+  (``repro worker HOST:PORT --backend ... --jobs N``);
+* ``submit``     — submit a grid JSON file to a coordinator and stream the
+  rows back (``repro submit grid.json --connect HOST:PORT``);
+* ``query``      — stream stored rows from a coordinator by key or filters.
 
 Graphs are specified either as a generator expression ``family:n[:seed]``
 (e.g. ``grid:25``, ``geometric:60:7``) or as a path to an edge-list file
@@ -242,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record failing cells as rows with an "
                             "'error:...' status column instead of aborting "
                             "the whole sweep (exit code 1 if any cell failed)")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="extra attempts for transiently failing cells "
+                            "and for chunks lost to a died pool worker "
+                            "process before the failure counts (default 0; "
+                            "service workers default to 1)")
     sweep.add_argument("--progress", action="store_true",
                        help="print per-chunk progress to stderr while the "
                             "sweep runs")
@@ -283,6 +297,87 @@ def build_parser() -> argparse.ArgumentParser:
              "skipped/stale lines, lines parsed by this open)",
     )
     describe.add_argument("store", metavar="DIR", help="result store directory")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep coordinator: serve cached rows from a result "
+             "store and fan uncached cells out to connected workers",
+    )
+    serve.add_argument("store", metavar="DIR",
+                       help="result store directory (created if missing); "
+                            "the coordinator is its single writer")
+    serve.add_argument("--listen", metavar="HOST:PORT", default="127.0.0.1:0",
+                       help="bind address (port 0 picks a free port; the "
+                            "bound address is printed to stderr)")
+    serve.add_argument("--lease-seconds", type=float, default=120.0,
+                       help="how long a dispatched cell may stay unanswered "
+                            "before it is re-queued to another worker")
+    serve.add_argument("--heartbeat-grace", type=float, default=45.0,
+                       help="drop a worker silent for longer than this "
+                            "(its leased cells are re-queued)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="total tries a cell gets across re-queues "
+                            "before it is reported failed")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a coordinator as a compute worker: rematerialize cells "
+             "from their specs and ship (key, row) docs back",
+    )
+    worker.add_argument("connect", metavar="HOST:PORT",
+                        help="coordinator address (as printed by repro serve)")
+    worker.add_argument("--backend", type=_parse_backend_arg, metavar="SPEC",
+                        default=None,
+                        help=f"run every cell on this engine (one of: "
+                             f"{', '.join(BACKEND_SPECS)}); default: whatever "
+                             f"each submission requests (execution only — "
+                             f"store keys come from the submission)")
+    worker.add_argument("--jobs", type=int, default=1,
+                        help="cells this worker runs concurrently "
+                             "(a process pool; also its advertised slots)")
+    worker.add_argument("--retries", type=int, default=1,
+                        help="per-cell retry for transient failures before "
+                             "an error row is returned (default 1)")
+    worker.add_argument("--name", default="",
+                        help="worker name shown in coordinator diagnostics")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a grid JSON file to a coordinator and stream the rows "
+             "back (cached cells never recompute)",
+    )
+    submit.add_argument("grid", metavar="GRID_JSON",
+                        help="path to a JSON object of GridConfig fields "
+                             "(families, sizes, schemes, faults, clocks, ...)")
+    submit.add_argument("--connect", metavar="HOST:PORT", required=True,
+                        help="coordinator address")
+    submit.add_argument("--backend", type=_parse_backend_arg, metavar="SPEC",
+                        default=None,
+                        help="requested engine (part of the store key, like "
+                             "a local sweep's --backend)")
+    submit.add_argument("--trace-level", choices=["none", "summary", "full"],
+                        default="summary")
+    submit.add_argument("--keep-going", action="store_true",
+                        help="accept error-status rows for cells that "
+                             "failed every attempt instead of aborting")
+    submit.add_argument("--output", choices=["table", "json", "csv"],
+                        default="table")
+
+    query = sub.add_parser(
+        "query",
+        help="stream stored rows from a coordinator by key or filters "
+             "(the remote counterpart of `repro results`)",
+    )
+    query.add_argument("--connect", metavar="HOST:PORT", required=True,
+                       help="coordinator address")
+    query.add_argument("--key", default=None,
+                       help="exact content-addressed row key (O(1) lookup)")
+    query.add_argument("--schemes", nargs="+", default=None)
+    query.add_argument("--families", nargs="+", default=None)
+    query.add_argument("--sizes", nargs="+", type=int, default=None)
+    query.add_argument("--status", default=None)
+    query.add_argument("--output", choices=["table", "json", "csv", "jsonl"],
+                       default="table")
 
     return parser
 
@@ -480,7 +575,8 @@ def _cmd_sweep(args) -> int:
         rows = run_grid(cfg, backend=backend,
                         jobs=args.jobs, trace_level=args.trace_level,
                         batch_size=args.batch_size, store=store,
-                        strict=not args.keep_going, on_chunk=on_chunk)
+                        strict=not args.keep_going, retries=args.retries,
+                        on_chunk=on_chunk)
     finally:
         if store is not None:
             store.close()
@@ -570,6 +666,134 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import Coordinator
+    from .service.protocol import parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        store = ResultStore.open(args.store, require_existing=False)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        coordinator = Coordinator(
+            store, host=host, port=port,
+            lease_seconds=args.lease_seconds,
+            heartbeat_grace=args.heartbeat_grace,
+            max_attempts=args.max_attempts,
+        )
+        await coordinator.start()
+        print(f"[serve] store={args.store} rows={len(store)} "
+              f"listening on {coordinator.address}",
+              file=sys.stderr, flush=True)
+        try:
+            await coordinator.serve_forever()
+        finally:
+            await coordinator.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("[serve] interrupted", file=sys.stderr)
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import asyncio
+
+    from .service import ProtocolError, Worker
+
+    worker = Worker(args.connect, backend=args.backend, jobs=args.jobs,
+                    retries=args.retries, pool="process", name=args.name)
+    print(f"[worker] connecting to {args.connect} jobs={args.jobs} "
+          f"backend={args.backend or 'per-submission'}",
+          file=sys.stderr, flush=True)
+    try:
+        asyncio.run(worker.run())
+    except KeyboardInterrupt:
+        pass
+    except (ConnectionError, OSError, ProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"[worker] done after {worker.cells_run} cells", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .service import ProtocolError, ServiceClient, ServiceError
+
+    try:
+        with open(args.grid) as handle:
+            doc = json.load(handle)
+        if not isinstance(doc, dict):
+            raise ValueError("grid file must hold one JSON object of "
+                             "GridConfig fields")
+        cfg = GridConfig(**doc)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: invalid grid file {args.grid}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(args.connect) as client:
+            rows = client.submit(cfg, backend=args.backend,
+                                 trace_level=args.trace_level,
+                                 strict=not args.keep_going)
+            summary = client.last_summary
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach coordinator at {args.connect}: {exc}",
+              file=sys.stderr)
+        return 2
+    except (ServiceError, ProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output == "json":
+        print(metrics_to_json(rows))
+    elif args.output == "csv":
+        print(metrics_to_csv(rows), end="")
+    else:
+        print(format_metrics_table(rows, title=f"submit {args.grid}"))
+    print(f"[service] connect={args.connect} total={summary['total']} "
+          f"cached={summary['cached']} computed={summary['computed']} "
+          f"failed={summary['failed']}", file=sys.stderr)
+    return 1 if summary["failed"] else 0
+
+
+def _cmd_query(args) -> int:
+    from .service import ProtocolError, ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.connect) as client:
+            rows = client.query(key=args.key, schemes=args.schemes,
+                                families=args.families, sizes=args.sizes,
+                                status=args.status)
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach coordinator at {args.connect}: {exc}",
+              file=sys.stderr)
+        return 2
+    except (ServiceError, ProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output == "json":
+        print(rows.to_json())
+    elif args.output == "csv":
+        print(rows.to_csv(), end="")
+    elif args.output == "jsonl":
+        print(rows.to_jsonl(), end="")
+    else:
+        print(format_metrics_table(
+            rows, title=f"{args.connect}: {len(rows)} rows"))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -583,6 +807,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "results": _cmd_results,
         "store": _cmd_store,
+        "serve": _cmd_serve,
+        "worker": _cmd_worker,
+        "submit": _cmd_submit,
+        "query": _cmd_query,
     }
     return handlers[args.command](args)
 

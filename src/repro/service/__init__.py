@@ -1,0 +1,49 @@
+"""``repro.service`` — sweep-as-a-service: coordinator, workers, client.
+
+The first networked subsystem: one shared experiment cache
+(:class:`~repro.store.ResultStore`), many concurrent clients, compute
+deduplicated by construction.  See the README's "Sweep as a service"
+section for the topology; the pieces are
+
+* :mod:`repro.service.protocol` — versioned length-prefixed JSON frames
+  (socket-free testable),
+* :mod:`repro.service.coordinator` — the asyncio assignment/reduction hub
+  (``repro serve``),
+* :mod:`repro.service.worker` — cell execution from serializable specs
+  (``repro worker``),
+* :mod:`repro.service.client` — blocking :class:`ServiceClient` behind
+  ``repro submit`` / ``repro query``,
+* :mod:`repro.service.harness` — in-process topology for tests/examples.
+"""
+
+from .client import DEFAULT_WINDOW, ServiceClient, ServiceError
+from .coordinator import Coordinator, WorkerLostError
+from .harness import ServiceHarness
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    format_address,
+    parse_address,
+)
+from .worker import Worker, execute_cell
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_WINDOW",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHarness",
+    "Worker",
+    "WorkerLostError",
+    "encode_frame",
+    "execute_cell",
+    "format_address",
+    "parse_address",
+]

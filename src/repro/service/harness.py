@@ -1,0 +1,189 @@
+"""In-process service topology: coordinator + N workers on one background loop.
+
+Tests, the quickstart example and the benchmark all need a full service
+(coordinator, workers, a live TCP port) without spawning processes or
+shelling out.  :class:`ServiceHarness` runs the whole topology on one
+asyncio event loop inside a daemon thread::
+
+    with ServiceHarness(store_dir, workers=2) as svc:
+        with ServiceClient(svc.address) as client:
+            rows = client.submit(config)
+
+Workers default to ``pool="thread"`` so cells execute *in the host
+process* — which is what lets tests monkeypatch a backend and count its
+invocations to prove the warm path really computed nothing.  ``kill_worker``
+hard-drops one worker connection mid-sweep (the worker-death re-queue path),
+and ``add_worker`` joins a fresh one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..store import ResultStore
+from .coordinator import Coordinator
+from .worker import Worker
+
+__all__ = ["ServiceHarness"]
+
+
+class ServiceHarness:
+    """A live coordinator + worker fleet on a background event loop."""
+
+    def __init__(
+        self,
+        store_dir: Any,
+        *,
+        workers: int = 2,
+        backend: Optional[str] = None,
+        jobs: int = 1,
+        retries: int = 1,
+        pool: str = "thread",
+        lease_seconds: float = 60.0,
+        heartbeat_grace: float = 30.0,
+        max_attempts: int = 3,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.store_dir = str(store_dir)
+        self.worker_count = int(workers)
+        self.backend = backend
+        self.jobs = int(jobs)
+        self.retries = int(retries)
+        self.pool = pool
+        self.lease_seconds = float(lease_seconds)
+        self.heartbeat_grace = float(heartbeat_grace)
+        self.max_attempts = int(max_attempts)
+        self.host = host
+        self.address: str = ""
+        self.coordinator: Optional[Coordinator] = None
+        self.workers: List[Worker] = []
+        self._worker_tasks: List[asyncio.Task] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServiceHarness":
+        assert self._thread is None, "harness already started"
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="service-harness", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service harness failed to start within 30s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise RuntimeError(
+                f"service harness failed to start: {self._startup_error!r}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # fleet manipulation (tests)
+    # ------------------------------------------------------------------ #
+    def kill_worker(self, index: int = 0) -> None:
+        """Hard-drop one worker mid-flight (exercises lease re-queue)."""
+        assert self._loop is not None, "harness not started"
+
+        def _kill() -> None:
+            if 0 <= index < len(self._worker_tasks):
+                self._worker_tasks[index].cancel()
+
+        self._loop.call_soon_threadsafe(_kill)
+
+    def add_worker(self, **overrides: Any) -> None:
+        """Join one more worker to the running coordinator."""
+        assert self._loop is not None, "harness not started"
+        done = threading.Event()
+
+        def _add() -> None:
+            worker = Worker(
+                self.address,
+                backend=overrides.get("backend", self.backend),
+                jobs=overrides.get("jobs", self.jobs),
+                retries=overrides.get("retries", self.retries),
+                pool=overrides.get("pool", self.pool),
+                name=overrides.get("name", f"extra-{len(self.workers)}"),
+            )
+            self.workers.append(worker)
+            self._worker_tasks.append(asyncio.ensure_future(worker.run()))
+            done.set()
+
+        self._loop.call_soon_threadsafe(_add)
+        done.wait(timeout=10)
+
+    def describe(self) -> Dict[str, Any]:
+        """Coordinator counters, fetched thread-safely."""
+        assert self._loop is not None and self.coordinator is not None
+        future: "asyncio.Future[Dict[str, Any]]" = asyncio.run_coroutine_threadsafe(
+            self._describe(), self._loop)  # type: ignore[assignment]
+        return future.result(timeout=10)
+
+    async def _describe(self) -> Dict[str, Any]:
+        assert self.coordinator is not None
+        return self.coordinator.describe()
+
+    # ------------------------------------------------------------------ #
+    # the background loop
+    # ------------------------------------------------------------------ #
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures only
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        store = ResultStore(self.store_dir)
+        self.coordinator = Coordinator(
+            store, host=self.host, port=0,
+            lease_seconds=self.lease_seconds,
+            heartbeat_grace=self.heartbeat_grace,
+            max_attempts=self.max_attempts,
+        )
+        try:
+            await self.coordinator.start()
+            self.address = self.coordinator.address
+            self.workers = [
+                Worker(self.address, backend=self.backend, jobs=self.jobs,
+                       retries=self.retries, pool=self.pool,
+                       name=f"harness-{i}")
+                for i in range(self.worker_count)
+            ]
+            self._worker_tasks = [
+                asyncio.ensure_future(worker.run()) for worker in self.workers
+            ]
+            self._ready.set()
+            await self._stop.wait()
+        finally:
+            for task in self._worker_tasks:
+                task.cancel()
+            for task in self._worker_tasks:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            await self.coordinator.stop()
+            store.close()

@@ -64,3 +64,10 @@ class TestExamples:
         result = _run("label_width_exploration.py")
         assert result.returncode == 0, result.stderr
         assert "Trees need no labels" in result.stdout
+
+    def test_service_quickstart(self, tmp_path):
+        result = _run("service_quickstart.py", "--store", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert "Cold submit: 16 computed / 0 cached" in result.stdout
+        assert "Warm submit: 0 computed / 16 cached" in result.stdout
+        assert "bit-identical to a local run_grid. [OK]" in result.stdout

@@ -283,3 +283,156 @@ class TestFailureHandling:
         final = snapshots[-1]
         assert final.failed_rows == sum(1 for r in rows if r.status != "ok") > 0
         assert final.computed_rows + final.failed_rows == len(rows)
+
+
+# --------------------------------------------------------------------------- #
+# per-cell retries: transient faults heal, deterministic ones still fail
+# --------------------------------------------------------------------------- #
+def _install_transient_lambda(monkeypatch, fail_first: int = 1):
+    """Make the lambda scheme fail its first ``fail_first`` calls, then heal.
+
+    Patched on the class so forked pool workers inherit it; the counter is
+    per process, so every worker's *first* lambda cell raises — the transient
+    fault a retry is supposed to absorb.
+    """
+    from repro.api.schemes import LambdaScheme
+
+    original = LambdaScheme.build_task
+    state = {"calls": 0}
+
+    def transient(self, *args, **kwargs):
+        state["calls"] += 1
+        if state["calls"] <= fail_first:
+            raise RuntimeError("transient cell failure")
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(LambdaScheme, "build_task", transient)
+    return state
+
+
+class TestCellRetries:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries must be >= 0"):
+            iter_grid(CFG, retries=-1)
+
+    def test_transient_failure_heals_with_one_retry(self, monkeypatch):
+        baseline = run_grid(CFG)
+        state = _install_transient_lambda(monkeypatch)
+        assert run_grid(CFG, retries=1) == baseline
+        assert state["calls"] > 1  # the retry re-ran the cell
+
+    def test_without_retries_the_same_fault_is_fatal(self, monkeypatch):
+        _install_transient_lambda(monkeypatch)
+        with pytest.raises(GridExecutionError, match="transient"):
+            run_grid(CFG)  # retries defaults to 0: unchanged semantics
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_retry_heals_inside_forked_workers(self, monkeypatch, jobs):
+        # Each forked worker fails its own first lambda cell; the retry
+        # happens inside that worker, so the sweep never sees the fault.
+        baseline = run_grid(CFG)
+        _install_transient_lambda(monkeypatch)
+        rows = run_grid(CFG, jobs=jobs, retries=1, chunk_size=2)
+        assert rows == baseline
+
+    def test_keep_going_only_records_cells_that_exhaust_retries(
+        self, monkeypatch
+    ):
+        baseline = run_grid(CFG)
+        # Fails the first three lambda calls: with one retry the first cell
+        # consumes both its attempts and fails, the second cell fails once
+        # and heals on its retry (call #4), the rest never fault.
+        _install_transient_lambda(monkeypatch, fail_first=3)
+        rows = run_grid(CFG, strict=False, retries=1)
+        failed = rows.filter(lambda r: r.status != "ok")
+        assert len(failed) == 1
+        assert failed[0].scheme == "lambda"
+        assert len(rows) == len(baseline)
+
+    def test_batched_replay_retries_transient_kernel_faults(self, monkeypatch):
+        # The batched path replays a failed batch per task; a fault that also
+        # kills the first replay must heal on the replay's retry.
+        from repro.backends.batched import BatchedVectorizedBackend
+
+        baseline = run_grid(CFG, batch_size=4)
+        original = BatchedVectorizedBackend.run_batch
+        state = {"calls": 0}
+
+        def transient(self, tasks):
+            state["calls"] += 1
+            if state["calls"] <= 2:  # the whole batch, then the 1st replay
+                raise RuntimeError("transient kernel failure")
+            return original(self, tasks)
+
+        monkeypatch.setattr(BatchedVectorizedBackend, "run_batch", transient)
+        assert run_grid(CFG, batch_size=4, retries=1) == baseline
+        monkeypatch.undo()
+        state["calls"] = 0
+        monkeypatch.setattr(BatchedVectorizedBackend, "run_batch", transient)
+        with pytest.raises(GridExecutionError):
+            run_grid(CFG, batch_size=4)  # no retries: the replay stays dead
+
+
+# --------------------------------------------------------------------------- #
+# pool-worker death: BrokenProcessPool chunks are resubmitted, once
+# --------------------------------------------------------------------------- #
+def _install_suicidal_lambda(monkeypatch, marker):
+    """The first lambda cell with no marker file hard-kills its process.
+
+    ``os._exit`` skips every finally/atexit, exactly like an OOM reap — the
+    executor turns into BrokenProcessPool and every outstanding future dies
+    with it.  The marker file persists across the pool rebuild, so retried
+    chunks run clean.
+    """
+    from repro.api.schemes import LambdaScheme
+
+    original = LambdaScheme.build_task
+
+    def suicidal(self, *args, **kwargs):
+        import os
+
+        if not marker.exists():
+            marker.touch()
+            os._exit(1)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(LambdaScheme, "build_task", suicidal)
+
+
+class TestPoolCrashResubmission:
+    def test_one_retry_survives_a_killed_pool_worker(self, tmp_path,
+                                                     monkeypatch):
+        baseline = run_grid(CFG)
+        _install_suicidal_lambda(monkeypatch, tmp_path / "died-once")
+        rows = run_grid(CFG, jobs=2, retries=1, chunk_size=2)
+        assert rows == baseline
+        assert (tmp_path / "died-once").exists()
+
+    def test_without_retries_strict_raises_broken_pool(self, tmp_path,
+                                                       monkeypatch):
+        from concurrent.futures import BrokenExecutor
+
+        _install_suicidal_lambda(monkeypatch, tmp_path / "died-once")
+        with pytest.raises(BrokenExecutor):
+            run_grid(CFG, jobs=2, chunk_size=2)
+
+    def test_without_retries_keep_going_records_the_lost_chunks(
+        self, tmp_path, monkeypatch
+    ):
+        baseline = run_grid(CFG)
+        _install_suicidal_lambda(monkeypatch, tmp_path / "died-once")
+        rows = run_grid(CFG, jobs=2, chunk_size=2, strict=False)
+        assert len(rows) == len(baseline)
+        failed = rows.filter(lambda r: r.status != "ok")
+        assert len(failed) > 0
+        assert all(r.status == "error:BrokenProcessPool" for r in failed)
+
+    def test_completed_chunks_survive_the_crash_into_the_store(
+        self, tmp_path, monkeypatch
+    ):
+        baseline = run_grid(CFG)
+        _install_suicidal_lambda(monkeypatch, tmp_path / "died-once")
+        with ResultStore(tmp_path / "s") as store:
+            rows = run_grid(CFG, jobs=2, retries=1, chunk_size=2, store=store)
+            assert rows == baseline
+            assert len(store) == len(baseline)  # every cell cached, none torn

@@ -644,6 +644,95 @@ def bench_store_index(request):
     )
 
 
+def bench_analytics_rows(request):
+    """Columnar one-column aggregate vs full JSONL parse; ``analytics_rows``.
+
+    Builds a >=10^5-row store (2*10^4 under ``--quick``), columnar-compacts a
+    copy, then answers the same single-column aggregate from both: the JSONL
+    path must ``json.loads`` every stored document before the first statistic
+    exists, while the columnar path mmaps the segments and touches exactly one
+    int64 column.  Acceptance: identical statistics and a >= 5x open+aggregate
+    speedup for the columnar store.  The numbers land in the
+    ``analytics_rows`` section so later PRs can track the analytics path as
+    stores grow.
+    """
+    import hashlib
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.analysis import RunMetrics
+    from repro.store import ResultStore, compact_store
+
+    quick = request.config.getoption("--quick")
+    n_rows = 20_000 if quick else 100_000
+    base = RunMetrics(
+        scheme="lambda", family="path", n=64, source_eccentricity=63,
+        label_bits=2, distinct_labels=2, completion_round=125, bound=125,
+        acknowledgement_round=None, transmissions=63, collisions=0,
+        total_message_bits=2016,
+    )
+    schemes = ("lambda", "round_robin")
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl_root = Path(tmp) / "jsonl"
+        start = time.perf_counter()
+        with ResultStore(jsonl_root) as store:
+            for i in range(n_rows):
+                key = hashlib.sha256(str(i).encode()).hexdigest()
+                store.put(key, replace(
+                    base, scheme=schemes[i % 2], n=32 * (1 + i % 4),
+                    completion_round=100 + i % 50,
+                ))
+        build_wall = time.perf_counter() - start
+        columnar_root = Path(tmp) / "columnar"
+        shutil.copytree(jsonl_root, columnar_root)
+        start = time.perf_counter()
+        stats = compact_store(columnar_root, format="columnar")
+        compact_wall = time.perf_counter() - start
+        assert stats["segments_unconverted"] == 0
+
+        def best_of(fn, repeats=3):
+            best, out = float("inf"), None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                out = fn()
+                best = min(best, time.perf_counter() - t0)
+            return best, out
+
+        def open_and_aggregate(root):
+            with ResultStore(root) as store:
+                return store.rows().aggregate("completion_round")
+
+        jsonl_wall, jsonl_agg = best_of(lambda: open_and_aggregate(jsonl_root))
+        col_wall, col_agg = best_of(lambda: open_and_aggregate(columnar_root))
+        with ResultStore(columnar_root) as store:
+            formats = store.describe()["formats"]
+
+    assert col_agg == jsonl_agg, "both formats must answer identically"
+    assert jsonl_agg["count"] == n_rows
+    speedup = round(jsonl_wall / col_wall, 1)
+    assert speedup >= 5.0, (
+        f"columnar open+aggregate must be >= 5x the full JSONL parse at "
+        f"{n_rows} rows, got {speedup}x ({col_wall:.3f}s vs {jsonl_wall:.3f}s)"
+    )
+    _merge_bench_json("analytics_rows", [{
+        "rows": n_rows,
+        "column": "completion_round",
+        "build_seconds": round(build_wall, 3),
+        "columnar_compact_seconds": round(compact_wall, 3),
+        "jsonl_aggregate_seconds": round(jsonl_wall, 4),
+        "columnar_aggregate_seconds": round(col_wall, 4),
+        "speedup": speedup,
+        "columnar_bytes": formats.get("columnar", {}).get("bytes", 0),
+    }])
+    report(
+        "E10h — columnar analytics (one-column aggregate at scale)",
+        f"{n_rows} rows; JSONL full parse: {jsonl_wall:.3f}s, columnar "
+        f"open+aggregate: {col_wall:.4f}s ({speedup}x); compact to columnar "
+        f"once: {compact_wall:.2f}s; written to {BENCH_JSON}",
+    )
+
+
 def bench_service_sweep(request):
     """A grid over the wire: coordinator + 2 workers; ``service_sweep``.
 

@@ -10,6 +10,7 @@ deprecated aliases.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as _dataclass_fields
 from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
@@ -21,6 +22,10 @@ from ..radio.trace import ExecutionTrace
 
 __all__ = [
     "RunMetrics",
+    "METRIC_FIELDS",
+    "METRIC_STRING_FIELDS",
+    "METRIC_OPTIONAL_INT_FIELDS",
+    "METRIC_INT_FIELDS",
     "metrics_from_run",
     "metrics_from_outcome",
     "metrics_from_baseline",
@@ -85,6 +90,21 @@ class RunMetrics:
         if self.completion_round is None or self.bound is None:
             return None
         return self.completion_round <= self.bound
+
+
+#: The row schema, in dataclass field order — the single source of truth the
+#: columnar containers (ResultSet, the binary segment format, the streaming
+#: aggregator) all derive their column typing from.
+METRIC_FIELDS = tuple(f.name for f in _dataclass_fields(RunMetrics))
+#: Short string tags.
+METRIC_STRING_FIELDS = ("scheme", "family", "fault", "clock", "backend", "status")
+#: ``Optional[int]`` fields: stored as int64 + a boolean validity mask.
+METRIC_OPTIONAL_INT_FIELDS = ("completion_round", "bound", "acknowledgement_round")
+#: Mandatory integer counters (everything that is neither a tag nor optional).
+METRIC_INT_FIELDS = tuple(
+    f for f in METRIC_FIELDS
+    if f not in METRIC_STRING_FIELDS and f not in METRIC_OPTIONAL_INT_FIELDS
+)
 
 
 def message_bits_total(trace: ExecutionTrace, source_payload_bits: int = 32) -> int:

@@ -17,9 +17,11 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 __all__ = [
     "format_table",
     "format_metrics_table",
+    "format_aggregate_table",
     "format_comparison",
     "metrics_to_json",
     "metrics_to_csv",
+    "aggregate_to_dicts",
 ]
 
 
@@ -100,6 +102,36 @@ def format_metrics_table(metrics: Sequence, *, title: Optional[str] = None) -> s
         columns.append("backend")
     if any(row.get("status", "ok") != "ok" for row in rows):
         columns.append("status")
+    return format_table(rows, columns, title=title)
+
+
+def aggregate_to_dicts(groups: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Flatten aggregate groups (``[{"by": ..., "stats": ...}]``) to one dict
+    per group — grouping columns first, then the statistics in kernel order.
+
+    This is the row shape every aggregate output surface (table, json, csv)
+    renders, so ``repro results --agg`` and ``repro query --agg`` emit
+    identical documents for identical data.
+    """
+    return [{**group["by"], **group["stats"]} for group in groups]
+
+
+def format_aggregate_table(
+    groups: Sequence[Mapping[str, Any]],
+    *,
+    column: str,
+    title: Optional[str] = None,
+) -> str:
+    """Render streaming/eager aggregate output as an aligned table.
+
+    One row per group: the grouping columns, then ``count``/``mean``/``std``
+    and the percentile spread (``p05``/``median``/``p95``) with ``min``/
+    ``max`` — plus the bootstrap CI bounds when present.
+    """
+    rows = aggregate_to_dicts(groups)
+    if title is None:
+        title = f"aggregate of {column}"
+    columns = list(rows[0].keys()) if rows else None
     return format_table(rows, columns, title=title)
 
 

@@ -41,10 +41,19 @@ import sys
 from typing import Optional, Sequence
 
 from .analysis import (
+    format_aggregate_table,
     format_metrics_table,
     metrics_from_run,
     metrics_to_csv,
     metrics_to_json,
+)
+from .analysis.report import aggregate_to_dicts
+from .analysis.stream import (
+    aggregate_result_set,
+    filter_result_set,
+    resolve_group_columns,
+    status_matches,
+    stream_aggregate,
 )
 from .api import (
     GridConfig,
@@ -273,8 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
     results.add_argument("--sizes", nargs="+", type=int, default=None,
                          help="keep only these graph sizes")
     results.add_argument("--status", default=None,
-                         help="keep only rows with this status "
-                              "(e.g. ok, or an error:... tag)")
+                         help="keep only rows with this status (e.g. ok, a "
+                              "full error:... tag, or the bare class "
+                              "'error' matching every error:... row)")
+    results.add_argument("--agg", metavar="COLUMN", default=None,
+                         help="aggregate this numeric column instead of "
+                              "printing rows (count/mean/std/min/p05/median/"
+                              "p95/max; aliases: rounds, acks, bits)")
+    results.add_argument("--by", metavar="COLUMNS", default=None,
+                         help="comma-separated grouping columns for --agg "
+                              "(e.g. scheme,n)")
+    results.add_argument("--ci", action="store_true",
+                         help="add a seeded bootstrap 95%% confidence "
+                              "interval of the mean to --agg output")
+    results.add_argument("--stream", action="store_true",
+                         help="aggregate in one streaming pass over the "
+                              "store (O(groups) memory) instead of the "
+                              "columnar path; same numbers")
     results.add_argument("--output", choices=["table", "json", "csv", "jsonl"],
                          default="table", help="output format for the rows")
 
@@ -291,6 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
              "atomically and refresh the offset indexes",
     )
     compact.add_argument("store", metavar="DIR", help="result store directory")
+    compact.add_argument("--format", choices=["jsonl", "columnar"],
+                         default="jsonl",
+                         help="on-disk format compaction leaves behind: "
+                              "jsonl (default; expands columnar segments "
+                              "back to lines) or columnar (binary column "
+                              "blocks for mmap-lazy analytics; appends "
+                              "still land in JSONL beside them)")
     describe = store_sub.add_parser(
         "describe",
         help="print the store's summary counters as JSON (rows, segments, "
@@ -375,7 +406,19 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--schemes", nargs="+", default=None)
     query.add_argument("--families", nargs="+", default=None)
     query.add_argument("--sizes", nargs="+", type=int, default=None)
-    query.add_argument("--status", default=None)
+    query.add_argument("--status", default=None,
+                       help="filter by status (a bare 'error' matches every "
+                            "error:... tag)")
+    query.add_argument("--agg", metavar="COLUMN", default=None,
+                       help="ask the coordinator for per-group statistics "
+                            "of this column instead of streaming rows "
+                            "(aliases: rounds, acks, bits)")
+    query.add_argument("--by", metavar="COLUMNS", default=None,
+                       help="comma-separated grouping columns for --agg "
+                            "(e.g. scheme,n)")
+    query.add_argument("--ci", action="store_true",
+                       help="add a bootstrap 95%% confidence interval to "
+                            "--agg output")
     query.add_argument("--output", choices=["table", "json", "csv", "jsonl"],
                        default="table")
 
@@ -610,7 +653,70 @@ def _cmd_results(args) -> int:
         store.close()
 
 
+def _iter_filtered_row_dicts(store: ResultStore, args):
+    """Stream matching row dicts off the store, one at a time."""
+    schemes = set(args.schemes) if args.schemes else None
+    families = set(args.families) if args.families else None
+    sizes = set(args.sizes) if args.sizes else None
+    for doc in store.iter_docs():
+        row = doc["row"]
+        if schemes and row.get("scheme") not in schemes:
+            continue
+        if families and row.get("family") not in families:
+            continue
+        if sizes and row.get("n") not in sizes:
+            continue
+        if args.status and not status_matches(row.get("status", ""), args.status):
+            continue
+        yield row
+
+
+def _emit_aggregate(groups, *, column: str, output: str, title: str) -> None:
+    """Render aggregate groups in any CLI output format.
+
+    Every format flattens through :func:`aggregate_to_dicts`, so the local
+    and service aggregate paths print identical documents.
+    """
+    rows = aggregate_to_dicts(groups)
+    if output == "json":
+        print(json.dumps(rows, indent=2))
+    elif output == "jsonl":
+        for row in rows:
+            print(json.dumps(row, sort_keys=True, separators=(",", ":")))
+    elif output == "csv":
+        import csv as _csv
+        import io as _io
+
+        buffer = _io.StringIO()
+        fieldnames = list(rows[0].keys()) if rows else ["count"]
+        writer = _csv.DictWriter(buffer, fieldnames=fieldnames,
+                                 lineterminator="\n")
+        writer.writeheader()
+        writer.writerows(rows)
+        print(buffer.getvalue(), end="")
+    else:
+        print(format_aggregate_table(groups, column=column, title=title))
+
+
 def _emit_results(args, store: ResultStore) -> int:
+    if args.agg:
+        try:
+            by = resolve_group_columns(args.by)
+            if args.stream:
+                groups = stream_aggregate(
+                    _iter_filtered_row_dicts(store, args), args.agg, by,
+                    ci=args.ci)
+            else:
+                rows = filter_result_set(
+                    store.rows(), schemes=args.schemes, families=args.families,
+                    sizes=args.sizes, status=args.status)
+                groups = aggregate_result_set(rows, args.agg, by, ci=args.ci)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        _emit_aggregate(groups, column=args.agg, output=args.output,
+                        title=f"{args.store}: aggregate of {args.agg}")
+        return 0
     unfiltered = not (args.schemes or args.families or args.sizes or args.status)
     if args.output == "jsonl" and unfiltered:
         # The line-oriented export needs no columnar staging: stream one row
@@ -619,19 +725,12 @@ def _emit_results(args, store: ResultStore) -> int:
             print(json.dumps(metrics.as_dict(), sort_keys=True,
                              separators=(",", ":")))
         return 0
-    rows = store.rows()
-    total = len(rows)
-    if args.schemes:
-        keep = set(args.schemes)
-        rows = rows.filter(lambda r: r.scheme in keep)
-    if args.families:
-        keep = set(args.families)
-        rows = rows.filter(lambda r: r.family in keep)
-    if args.sizes:
-        keep = set(args.sizes)
-        rows = rows.filter(lambda r: r.n in keep)
-    if args.status:
-        rows = rows.filter(status=args.status)
+    total = len(store)
+    # Column-vectorized filtering: against a columnar-compacted store only
+    # the filter columns are read until an output path touches the rest.
+    rows = filter_result_set(store.rows(), schemes=args.schemes,
+                             families=args.families, sizes=args.sizes,
+                             status=args.status)
     if args.output == "json":
         print(rows.to_json())
     elif args.output == "csv":
@@ -647,7 +746,7 @@ def _emit_results(args, store: ResultStore) -> int:
 def _cmd_store(args) -> int:
     try:
         if args.store_command == "compact":
-            stats = compact_store(args.store)
+            stats = compact_store(args.store, format=args.format)
             print(json.dumps(stats, indent=2))
             dropped = (stats["duplicates_dropped"] + stats["stale_dropped"]
                        + stats["junk_dropped"])
@@ -772,9 +871,21 @@ def _cmd_query(args) -> int:
 
     try:
         with ServiceClient(args.connect) as client:
+            if args.agg:
+                groups = client.aggregate(
+                    args.agg, by=resolve_group_columns(args.by),
+                    schemes=args.schemes, families=args.families,
+                    sizes=args.sizes, status=args.status, ci=args.ci)
+                _emit_aggregate(
+                    groups, column=args.agg, output=args.output,
+                    title=f"{args.connect}: aggregate of {args.agg}")
+                return 0
             rows = client.query(key=args.key, schemes=args.schemes,
                                 families=args.families, sizes=args.sizes,
                                 status=args.status)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     except (ConnectionError, OSError) as exc:
         print(f"error: cannot reach coordinator at {args.connect}: {exc}",
               file=sys.stderr)

@@ -175,6 +175,66 @@ class ServiceClient:
         return ResultSet(_row_dict_to_metrics(doc) for _index, doc in docs)
 
     # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    def aggregate(
+        self,
+        column: str,
+        *,
+        by: Optional[Sequence[str]] = None,
+        schemes: Optional[Sequence[str]] = None,
+        families: Optional[Sequence[str]] = None,
+        sizes: Optional[Sequence[int]] = None,
+        status: Optional[str] = None,
+        ci: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """Server-side groupby/aggregate: per-group statistics, no row stream.
+
+        The coordinator answers from its store's columns (column-proportional
+        reads against a columnar-compacted store) with the same statistics
+        kernel the local paths use, so the groups returned here are equal to
+        ``aggregate_result_set(filter_result_set(store.rows(), ...), ...)``
+        against the same store.  Returns ``[{"by": {...}, "stats": {...}}]``
+        in first-seen group order; ``self.last_summary`` reports
+        ``{"rows_seen", "groups"}``.
+        """
+        frame: Dict[str, Any] = {"type": "aggregate", "column": column}
+        if by:
+            frame["by"] = list(by)
+        if schemes:
+            frame["schemes"] = list(schemes)
+        if families:
+            frame["families"] = list(families)
+        if sizes:
+            frame["sizes"] = [int(s) for s in sizes]
+        if status:
+            frame["status"] = status
+        if ci:
+            frame["ci"] = True
+        send_frame(self._sock, frame)
+        result = self._expect({"aggregate_result"})
+        # The wire encoding sorts object keys, scrambling the statistics
+        # kernel's field order; restore it so remote answers serialize
+        # byte-identically to the local eager/streaming paths.
+        order = ("count", "mean", "std", "min", "p05", "median", "p95",
+                 "max", "ci95_low", "ci95_high")
+        by_cols = list(result.get("by", []))
+        groups = []
+        for group in result.get("groups", []):
+            stats = dict(group.get("stats", {}))
+            ordered = {k: stats.pop(k) for k in order if k in stats}
+            ordered.update(stats)
+            keys = dict(group.get("by", {}))
+            named = {k: keys.pop(k) for k in by_cols if k in keys}
+            named.update(keys)
+            groups.append({**group, "by": named, "stats": ordered})
+        self.last_summary = {
+            "rows_seen": int(result.get("rows_seen", 0)),
+            "groups": len(groups),
+        }
+        return groups
+
+    # ------------------------------------------------------------------ #
     # stream plumbing
     # ------------------------------------------------------------------ #
     def _expect(self, kinds: "set[str]") -> Dict[str, Any]:

@@ -179,7 +179,7 @@ class Coordinator:
         self.heartbeat_grace = float(heartbeat_grace)
         self.max_attempts = int(max_attempts)
         self.stats = {
-            "submissions": 0, "queries": 0, "served_cached": 0,
+            "submissions": 0, "queries": 0, "aggregates": 0, "served_cached": 0,
             "computed": 0, "requeued": 0, "failed_cells": 0,
             "workers_seen": 0, "workers_lost": 0,
         }
@@ -477,7 +477,7 @@ class Coordinator:
                 elif kind == "ping":
                     async with conn.wlock:
                         await write_frame(writer, {"type": "pong"})
-                elif kind in ("submit", "query"):
+                elif kind in ("submit", "query", "aggregate"):
                     if conn.stream_task is not None and not conn.stream_task.done():
                         async with conn.wlock:
                             await write_frame(writer, {
@@ -486,8 +486,11 @@ class Coordinator:
                                            "connection; open another connection",
                             })
                         continue
-                    handler = (self._submission_task if kind == "submit"
-                               else self._query_task)
+                    handler = {
+                        "submit": self._submission_task,
+                        "query": self._query_task,
+                        "aggregate": self._aggregate_task,
+                    }[kind]
                     conn.stream_task = asyncio.create_task(handler(conn, frame))
                 elif kind == "bye":
                     break
@@ -631,8 +634,60 @@ class Coordinator:
         except (ConnectionError, OSError):
             pass
 
+    async def _aggregate_task(self, conn: _ClientConn,
+                              frame: Dict[str, Any]) -> None:
+        """Answer a server-side groupby/aggregate from the store's columns.
+
+        The heavy lifting is column-proportional: against a columnar-compacted
+        store, only the filter columns, the grouping columns and the
+        aggregated column are read — the client receives per-group statistics
+        instead of a row stream.
+        """
+        from ..analysis.stream import (  # local: keep service import light
+            aggregate_result_set,
+            filter_result_set,
+            resolve_group_columns,
+        )
+
+        self.stats["aggregates"] += 1
+        try:
+            column = frame["column"]
+            by = resolve_group_columns(frame.get("by"))
+            rows = filter_result_set(
+                self.store.rows(),
+                schemes=frame.get("schemes"),
+                families=frame.get("families"),
+                sizes=frame.get("sizes"),
+                status=frame.get("status"),
+            )
+            groups = aggregate_result_set(rows, column, by,
+                                          ci=bool(frame.get("ci", False)))
+        except (KeyError, TypeError, ValueError) as exc:
+            try:
+                async with conn.wlock:
+                    await write_frame(conn.writer, {
+                        "type": "error",
+                        "message": f"invalid aggregate: {exc}",
+                    })
+            except (ConnectionError, OSError):
+                pass
+            return
+        try:
+            async with conn.wlock:
+                await write_frame(conn.writer, {
+                    "type": "aggregate_result",
+                    "column": column,
+                    "by": list(by),
+                    "rows_seen": len(rows),
+                    "groups": groups,
+                })
+        except (ConnectionError, OSError):
+            pass
+
 
 def _match_filters(doc: Dict[str, Any], frame: Dict[str, Any]) -> bool:
+    from ..analysis.stream import status_matches  # local: keep imports light
+
     schemes = frame.get("schemes")
     if schemes and doc.get("scheme") not in schemes:
         return False
@@ -643,7 +698,9 @@ def _match_filters(doc: Dict[str, Any], frame: Dict[str, Any]) -> bool:
     if sizes and doc.get("n") not in sizes:
         return False
     status = frame.get("status")
-    if status and doc.get("status") != status:
+    if status and not status_matches(doc.get("status", ""), status):
+        # Prefix-class semantics: --status error matches error:ValueError
+        # while a full tag (or "ok") still matches exactly.
         return False
     return True
 

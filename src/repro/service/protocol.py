@@ -7,7 +7,7 @@ same vocabulary, so this module is the single source of truth for frame
 shapes and is unit-testable without opening a socket
 (:func:`encode_frame` / :class:`FrameDecoder` are pure byte transforms).
 
-Frame vocabulary (version 1)::
+Frame vocabulary (version 2)::
 
     type      direction                payload fields
     --------  -----------------------  -------------------------------------
@@ -26,6 +26,10 @@ Frame vocabulary (version 1)::
     done      coordinator -> client    total, cached, computed, failed
     query     client -> coordinator    [key] or [schemes, families, sizes,
                                        status]
+    aggregate client -> coordinator    column, [by, schemes, families,
+                                       sizes, status, ci]
+    aggregate_result
+              coordinator -> client    column, by, rows_seen, groups
     ping      peer -> coordinator      heartbeat (any frame refreshes
     pong      coordinator -> peer      liveness; ping works when idle)
     bye       either direction         orderly goodbye
@@ -71,7 +75,9 @@ __all__ = [
 
 #: Bumped whenever a frame's meaning changes; ``hello``/``welcome`` carry it
 #: and both ends reject a mismatch up front instead of mis-parsing later.
-PROTOCOL_VERSION = 1
+#: Version 2 added the ``aggregate``/``aggregate_result`` pair (server-side
+#: groupby/aggregate answered from store columns).
+PROTOCOL_VERSION = 2
 
 #: Hard upper bound on one frame's JSON body.  Far above any legitimate frame
 #: (a row is ~400 bytes; a submit carries one GridConfig): its job is to turn
@@ -83,7 +89,8 @@ _HEADER = struct.Struct(">I")
 
 FRAME_TYPES = frozenset({
     "hello", "welcome", "submit", "plan", "credit", "cell", "row",
-    "error", "done", "query", "ping", "pong", "bye",
+    "error", "done", "query", "aggregate", "aggregate_result",
+    "ping", "pong", "bye",
 })
 
 #: Roles a hello frame may declare.

@@ -17,15 +17,29 @@ Three pieces, layered::
   JSONL store that makes sweeps resumable (O(1) lookups via the sidecar
   offset indexes of :mod:`repro.store.index`, multi-writer safe appends);
 * :mod:`repro.store.compact` — :func:`compact_store`, the in-place segment
-  garbage collector behind ``repro store compact``.
+  garbage collector behind ``repro store compact`` (``format="columnar"``
+  rewrites winners into binary column blocks);
+* :mod:`repro.store.columnar` — the mmap-backed binary columnar segment
+  format behind lazy, column-proportional analytics on big stores.
 """
 
+from .columnar import (
+    COLUMNAR_MAGIC,
+    COLUMNAR_SUFFIX,
+    ColumnarError,
+    ColumnarSegment,
+    write_columnar_segment,
+)
 from .compact import compact_store
 from .keys import SCHEMA_VERSION, canonical_payload, normalize_backend_name, unit_key
 from .resultset import ResultSet
 from .store import ResultStore, StoreError
 
 __all__ = [
+    "COLUMNAR_MAGIC",
+    "COLUMNAR_SUFFIX",
+    "ColumnarError",
+    "ColumnarSegment",
     "SCHEMA_VERSION",
     "ResultSet",
     "ResultStore",
@@ -34,4 +48,5 @@ __all__ = [
     "compact_store",
     "normalize_backend_name",
     "unit_key",
+    "write_columnar_segment",
 ]

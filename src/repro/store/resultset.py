@@ -10,6 +10,15 @@ vectorized, while the sequence protocol (`len`, indexing, iteration,
 equality with row lists) keeps every existing list consumer working
 unchanged.
 
+Columns are fetched through a *provider*: the eager in-memory provider backs
+``ResultSet(rows)`` exactly as before, while a store with binary columnar
+segments (see :mod:`repro.store.columnar`) hands out a gather provider over
+its mmapped segments — same public API, but a column's bytes are only read
+when that column is first touched, so ``rows().aggregate("completion_round")``
+on a 10⁶-row columnar store never materializes the other fourteen columns.
+Selections (``filter``/``groupby``/slicing) stay lazy too: they index into
+the parent's columns on demand.
+
 Round-trips are lossless in both directions: ``ResultSet(rows).to_rows()``
 reproduces the input rows bit for bit (``Optional[int]`` fields included),
 and :meth:`to_jsonl` / :meth:`from_jsonl` is the interchange format of the
@@ -22,23 +31,26 @@ import csv
 import io
 import json
 from collections.abc import Sequence
-from dataclasses import fields as dataclass_fields
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from ..analysis.metrics import RunMetrics
+from ..analysis.metrics import (
+    METRIC_FIELDS,
+    METRIC_INT_FIELDS,
+    METRIC_OPTIONAL_INT_FIELDS,
+    METRIC_STRING_FIELDS,
+    RunMetrics,
+)
 
 __all__ = ["ResultSet"]
 
-_FIELDS: Tuple[str, ...] = tuple(f.name for f in dataclass_fields(RunMetrics))
+_FIELDS: Tuple[str, ...] = METRIC_FIELDS
 #: Short string tags.
-_STRING_FIELDS = ("scheme", "family", "fault", "clock", "backend", "status")
+_STRING_FIELDS = METRIC_STRING_FIELDS
 #: ``Optional[int]`` fields: stored as int64 + a boolean validity mask.
-_OPTIONAL_INT_FIELDS = ("completion_round", "bound", "acknowledgement_round")
-_INT_FIELDS = tuple(
-    f for f in _FIELDS if f not in _STRING_FIELDS and f not in _OPTIONAL_INT_FIELDS
-)
+_OPTIONAL_INT_FIELDS = METRIC_OPTIONAL_INT_FIELDS
+_INT_FIELDS = METRIC_INT_FIELDS
 
 
 def _row_dict_to_metrics(doc: Mapping[str, Any]) -> RunMetrics:
@@ -50,12 +62,12 @@ def _row_dict_to_metrics(doc: Mapping[str, Any]) -> RunMetrics:
     return RunMetrics(**{k: doc[k] for k in _FIELDS if k in doc})
 
 
-class ResultSet(Sequence):
-    """An immutable, columnar sequence of :class:`RunMetrics` rows."""
+class _EagerSource:
+    """The in-memory column provider: typed arrays built from rows up front."""
 
-    def __init__(self, rows: Iterable[RunMetrics] = ()) -> None:
-        rows = list(rows)
+    def __init__(self, rows: List[RunMetrics]) -> None:
         n = len(rows)
+        self.length = n
         columns: Dict[str, np.ndarray] = {}
         masks: Dict[str, np.ndarray] = {}
         for name in _STRING_FIELDS:
@@ -72,9 +84,73 @@ class ResultSet(Sequence):
             columns[name] = np.fromiter(
                 (0 if v is None else v for v in values), dtype=np.int64, count=n
             )
-        self._length = n
-        self._columns = columns
-        self._masks = masks
+        self.columns = columns
+        self.masks = masks
+
+    def get_column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def get_mask(self, name: str) -> np.ndarray:
+        return self.masks[name]
+
+
+class _GatherSource:
+    """A lazy gather over several column sources (mmapped segments + eager).
+
+    ``source_ids[i]``/``local_rows[i]`` place final row ``i`` at a row of one
+    source; a column is assembled only when requested, source by source, so
+    untouched columns of untouched sources never leave the page cache.
+    """
+
+    def __init__(self, sources: List[Any], source_ids: np.ndarray,
+                 local_rows: np.ndarray) -> None:
+        self.sources = sources
+        self.source_ids = source_ids
+        self.local_rows = local_rows
+        self.length = int(source_ids.size)
+
+    def _assemble(self, parts: List[np.ndarray]) -> np.ndarray:
+        if len(parts) == 1 and np.array_equal(
+                self.local_rows, np.arange(self.length)):
+            return np.asarray(parts[0])
+        dtype = np.result_type(*parts) if parts else np.int64
+        out = np.empty(self.length, dtype=dtype)
+        for sid, part in enumerate(parts):
+            here = self.source_ids == sid
+            out[here] = part[self.local_rows[here]]
+        return out
+
+    def get_column(self, name: str) -> np.ndarray:
+        return self._assemble([src.get_column(name) for src in self.sources])
+
+    def get_mask(self, name: str) -> np.ndarray:
+        return self._assemble([src.get_mask(name) for src in self.sources])
+
+
+class _SelectionSource:
+    """Columns of a parent ResultSet, gathered through an index (lazily)."""
+
+    def __init__(self, parent: "ResultSet", index: np.ndarray) -> None:
+        self.parent = parent
+        self.index = index
+        self.length = int(index.size)
+
+    def get_column(self, name: str) -> np.ndarray:
+        return self.parent._col(name)[self.index]
+
+    def get_mask(self, name: str) -> np.ndarray:
+        return self.parent._mask(name)[self.index]
+
+
+class ResultSet(Sequence):
+    """An immutable, columnar sequence of :class:`RunMetrics` rows."""
+
+    def __init__(self, rows: Iterable[RunMetrics] = ()) -> None:
+        source = _EagerSource(list(rows))
+        self._length = source.length
+        self._columns: Dict[str, np.ndarray] = source.columns
+        self._masks: Dict[str, np.ndarray] = source.masks
+        self._source: Optional[Any] = None
         self._row_cache: Optional[List[RunMetrics]] = None
 
     # ------------------------------------------------------------------ #
@@ -98,13 +174,44 @@ class ResultSet(Sequence):
         )
 
     @classmethod
-    def _from_selection(cls, parent: "ResultSet", index: np.ndarray) -> "ResultSet":
+    def _from_source(cls, source: Any) -> "ResultSet":
+        """Wrap a column provider (lazy: columns load on first touch)."""
         out = cls.__new__(cls)
-        out._length = int(index.size)
-        out._columns = {k: v[index] for k, v in parent._columns.items()}
-        out._masks = {k: v[index] for k, v in parent._masks.items()}
+        out._length = int(source.length)
+        out._columns = {}
+        out._masks = {}
+        out._source = source
         out._row_cache = None
         return out
+
+    @classmethod
+    def _from_selection(cls, parent: "ResultSet", index: np.ndarray) -> "ResultSet":
+        if parent._source is None:
+            out = cls.__new__(cls)
+            out._length = int(index.size)
+            out._columns = {k: v[index] for k, v in parent._columns.items()}
+            out._masks = {k: v[index] for k, v in parent._masks.items()}
+            out._source = None
+            out._row_cache = None
+            return out
+        return cls._from_source(_SelectionSource(parent, index))
+
+    # ------------------------------------------------------------------ #
+    # column access plumbing (cache in front of the provider)
+    # ------------------------------------------------------------------ #
+    def _col(self, name: str) -> np.ndarray:
+        arr = self._columns.get(name)
+        if arr is None:
+            arr = self._source.get_column(name)
+            self._columns[name] = arr
+        return arr
+
+    def _mask(self, name: str) -> np.ndarray:
+        arr = self._masks.get(name)
+        if arr is None:
+            arr = self._source.get_mask(name)
+            self._masks[name] = arr
+        return arr
 
     # ------------------------------------------------------------------ #
     # sequence protocol (the list-compatible shim)
@@ -115,11 +222,11 @@ class ResultSet(Sequence):
     def _materialize_row(self, i: int) -> RunMetrics:
         kwargs: Dict[str, Any] = {}
         for name in _STRING_FIELDS:
-            kwargs[name] = str(self._columns[name][i])
+            kwargs[name] = str(self._col(name)[i])
         for name in _INT_FIELDS:
-            kwargs[name] = int(self._columns[name][i])
+            kwargs[name] = int(self._col(name)[i])
         for name in _OPTIONAL_INT_FIELDS:
-            kwargs[name] = int(self._columns[name][i]) if self._masks[name][i] else None
+            kwargs[name] = int(self._col(name)[i]) if self._mask(name)[i] else None
         return RunMetrics(**kwargs)
 
     def __getitem__(self, index: Union[int, slice]):
@@ -147,7 +254,7 @@ class ResultSet(Sequence):
         return NotImplemented
 
     def __repr__(self) -> str:
-        schemes = sorted(set(self._columns["scheme"].tolist())) if self._length else []
+        schemes = sorted(set(self._col("scheme").tolist())) if self._length else []
         return f"ResultSet({self._length} rows, schemes={schemes})"
 
     # ------------------------------------------------------------------ #
@@ -167,10 +274,10 @@ class ResultSet(Sequence):
         """
         if name not in _FIELDS:
             raise KeyError(f"unknown column {name!r}; columns: {list(_FIELDS)}")
-        values = self._columns[name]
+        values = self._col(name)
         if name in _OPTIONAL_INT_FIELDS:
             out = values.astype(np.float64)
-            out[~self._masks[name]] = np.nan
+            out[~self._mask(name)] = np.nan
             return out
         return values.copy()
 
@@ -181,7 +288,21 @@ class ResultSet(Sequence):
                 f"{name!r} is not an optional column; optional columns: "
                 f"{list(_OPTIONAL_INT_FIELDS)}"
             )
-        return self._columns[name].copy(), self._masks[name].copy()
+        return self._col(name).copy(), self._mask(name).copy()
+
+    def where(self, mask: np.ndarray) -> "ResultSet":
+        """Rows where a boolean mask (length = ``len(self)``) is True.
+
+        The columnar escape hatch for conditions :meth:`filter` cannot
+        express without materializing rows — build the mask from
+        :meth:`column` arrays and select in one vectorized step.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._length,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match {self._length} rows"
+            )
+        return ResultSet._from_selection(self, np.flatnonzero(mask))
 
     def filter(
         self,
@@ -199,11 +320,11 @@ class ResultSet(Sequence):
                 raise KeyError(f"unknown column {name!r}; columns: {list(_FIELDS)}")
             if name in _OPTIONAL_INT_FIELDS:
                 if value is None:
-                    keep &= ~self._masks[name]
+                    keep &= ~self._mask(name)
                 else:
-                    keep &= self._masks[name] & (self._columns[name] == int(value))
+                    keep &= self._mask(name) & (self._col(name) == int(value))
             else:
-                keep &= self._columns[name] == value
+                keep &= self._col(name) == value
         if predicate is not None:
             rows = self.to_rows()
             keep &= np.fromiter(
@@ -217,42 +338,49 @@ class ResultSet(Sequence):
         """Split into sub-sets keyed by the given columns, in first-seen order.
 
         A single column name keys by its scalar values; several names key by
-        tuples.
+        tuples.  Only the named columns are touched (a lazy columnar set
+        never loads the rest).
         """
         if not names:
             raise ValueError("groupby needs at least one column name")
+        key_cols: List[List[Any]] = []
         for name in names:
             if name not in _FIELDS:
                 raise KeyError(f"unknown column {name!r}; columns: {list(_FIELDS)}")
-        rows = self.to_rows()
+            values = self._col(name).tolist()
+            if name in _OPTIONAL_INT_FIELDS:
+                mask = self._mask(name).tolist()
+                values = [v if m else None for v, m in zip(values, mask)]
+            key_cols.append(values)
         buckets: Dict[Any, List[int]] = {}
-        for i, row in enumerate(rows):
-            key = (
-                getattr(row, names[0])
-                if len(names) == 1
-                else tuple(getattr(row, n) for n in names)
-            )
-            buckets.setdefault(key, []).append(i)
+        if len(names) == 1:
+            for i, key in enumerate(key_cols[0]):
+                buckets.setdefault(key, []).append(i)
+        else:
+            for i, key in enumerate(zip(*key_cols)):
+                buckets.setdefault(key, []).append(i)
         return {
             key: ResultSet._from_selection(self, np.asarray(index, dtype=np.intp))
             for key, index in buckets.items()
         }
 
-    def aggregate(self, name: str) -> Dict[str, float]:
-        """Mean / min / max / count of a numeric column (``None`` cells skipped)."""
+    def aggregate(self, name: str, *, ci: bool = False, seed: int = 0) -> Dict[str, float]:
+        """Summary statistics of a numeric column (``None`` cells skipped).
+
+        Returns ``count``/``mean``/``std``/``min``/``p05``/``median``/
+        ``p95``/``max`` (all-NaN with ``count=0`` when every cell is
+        ``None``); ``ci=True`` adds a seeded-bootstrap ``ci95_low``/
+        ``ci95_high`` over the mean.  The statistical kernel is shared with
+        :mod:`repro.analysis.stream`, so eager, streaming and service-side
+        aggregates agree bit for bit.
+        """
+        from ..analysis.stream import compute_stats
+
         values = self.column(name)
         if values.dtype.kind not in "fiu":
             raise TypeError(f"column {name!r} is not numeric")
         values = values[~np.isnan(values)] if values.dtype.kind == "f" else values
-        if values.size == 0:
-            return {"mean": float("nan"), "min": float("nan"),
-                    "max": float("nan"), "count": 0}
-        return {
-            "mean": float(values.mean()),
-            "min": float(values.min()),
-            "max": float(values.max()),
-            "count": int(values.size),
-        }
+        return compute_stats(values, ci=ci, seed=seed)
 
     # ------------------------------------------------------------------ #
     # export / round-trip

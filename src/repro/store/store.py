@@ -6,6 +6,7 @@ Layout of a store directory::
       store.json            # format marker + schema version (documentation)
       segments/<xy>.jsonl   # appended rows, sharded by the key's first byte
       segments/<xy>.idx     # disposable sidecar offset index (see store.index)
+      segments/<xy>.colseg  # optional binary columnar segment (see store.columnar)
 
 Each segment line is one completed grid row::
 
@@ -41,6 +42,13 @@ scan-everything store:
   under a per-segment advisory ``fcntl.flock``, so concurrent processes can
   share one store without interleaving partial lines; each writer refreshes
   the sidecar index under the same lock on :meth:`ResultStore.close`.
+* **Columnar analytics** — ``compact(format="columnar")`` rewrites each
+  shard's winners into a binary column-block segment (``<xy>.colseg``,
+  :mod:`repro.store.columnar`) that opens by ``mmap`` — key lookups stay
+  O(1), ``rows()`` becomes a *lazy* ResultSet that reads only the column
+  blocks a query touches, and appends keep landing in the shard's JSONL
+  file, whose rows win over columnar rows of the same key on load.  Reads
+  dispatch per segment by file magic, so mixed stores just work.
 
 The optional ``trace`` attachment carries a summary/none-level
 :class:`~repro.radio.trace.ExecutionTrace` as its aggregate fields (the form
@@ -58,11 +66,20 @@ import re
 from pathlib import Path
 from typing import IO, Any, Dict, Iterator, List, Optional, Set, Union
 
+import numpy as np
+
 from ..analysis.metrics import RunMetrics
 from ..radio.trace import ExecutionTrace
+from .columnar import (
+    COLUMNAR_MAGIC,
+    COLUMNAR_SUFFIX,
+    ColumnarError,
+    ColumnarSegment,
+    read_file_magic,
+)
 from .index import SegmentIndex, load_segment_index, write_segment_index
 from .keys import SCHEMA_VERSION
-from .resultset import ResultSet, _row_dict_to_metrics
+from .resultset import ResultSet, _EagerSource, _GatherSource, _row_dict_to_metrics
 
 __all__ = ["ResultStore", "StoreError"]
 
@@ -159,9 +176,13 @@ class ResultStore:
         self._repaired: Set[str] = set()         # shards tail-repaired this session
         self._append_fds: Dict[str, int] = {}
         self._readers: Dict[str, IO[bytes]] = {}
+        # Open columnar segments by shard.  A slot living in one of these has
+        # _lens[slot] == -1 and _offs[slot] == its row index in the segment.
+        self._columnar: Dict[str, ColumnarSegment] = {}
         self.skipped_lines = 0
         self.stale_lines = 0
         self.scanned_lines = 0
+        self.quarantined_segments = 0
         if self.root.exists() and not self.root.is_dir():
             raise StoreError(
                 f"{self.root} is not a directory; a result store needs a "
@@ -222,26 +243,46 @@ class ResultStore:
                 # scandir keeps per-segment fixed costs low: a store shards
                 # into up to 256 segments and open time is dominated by
                 # per-file overhead once the sidecars do the heavy lifting.
-                found = sorted(
-                    (entry.name, entry.path, entry.stat().st_size)
-                    for entry in scan
-                    if entry.name.endswith(".jsonl") and entry.is_file()
-                )
+                # Sorting (shard, kind) loads a shard's columnar segment
+                # before its JSONL file, so JSONL rows — always the newer
+                # generation — win via _record's last-wins rule.
+                found = []
+                for entry in scan:
+                    if not entry.is_file():
+                        continue
+                    if entry.name.endswith(".jsonl"):
+                        found.append((entry.name[:-len(".jsonl")], 1,
+                                      entry.path, entry.stat().st_size))
+                    elif entry.name.endswith(COLUMNAR_SUFFIX):
+                        found.append((entry.name[:-len(COLUMNAR_SUFFIX)], 0,
+                                      entry.path, entry.stat().st_size))
+                found.sort()
         except OSError:
             return
-        for name, path, size in found:
-            shard = name[:-len(".jsonl")]
+        for shard, _kind, path, size in found:
+            # Dispatch by magic, not extension: the payload decides how a
+            # segment is read.
+            if read_file_magic(path) == COLUMNAR_MAGIC:
+                self._load_columnar(shard, path, rebuild=rebuild_index)
+                continue
             index = None
             if not rebuild_index:
                 index = load_segment_index(path, segment_bytes=size,
                                            schema=SCHEMA_VERSION)
             if index is not None:
-                base = len(self._keys)
-                self._slot.update(zip(index.keys, range(base, base + len(index.keys))))
-                self._keys.extend(index.keys)
-                self._offs.extend(index.offsets)
-                self._lens.extend(index.lengths)
-                self._shard_at.extend([shard] * len(index.keys))
+                if shard in self._columnar:
+                    # Mixed shard: sidecar keys may collide with columnar
+                    # keys, so register via last-wins instead of bulk-extend.
+                    for key, off, length in zip(index.keys, index.offsets,
+                                                index.lengths):
+                        self._record(key, shard, off, length)
+                else:
+                    base = len(self._keys)
+                    self._slot.update(zip(index.keys, range(base, base + len(index.keys))))
+                    self._keys.extend(index.keys)
+                    self._offs.extend(index.offsets)
+                    self._lens.extend(index.lengths)
+                    self._shard_at.extend([shard] * len(index.keys))
                 self._seg_skipped[shard] = index.skipped
                 self._seg_stale[shard] = index.stale
                 self.skipped_lines += index.skipped
@@ -257,9 +298,38 @@ class ResultStore:
             self._covered[shard] = size
         if len(self._slot) != len(self._keys):
             # A (forged/corrupt) sidecar smuggled duplicate keys past the
-            # fast path above; ground truth is the JSONL, so rebuild from it.
+            # fast path above; ground truth is on disk, so rebuild from it.
             self._reset_memory()
             self._load(rebuild_index=True)
+
+    def _load_columnar(self, shard: str, path: str, *, rebuild: bool) -> None:
+        """Open ``path`` as a columnar segment and register its keys.
+
+        A segment that fails validation (torn tail from a killed rewrite,
+        foreign schema, size mismatch) is *quarantined*: counted, never read,
+        left on disk for ``compact()`` to drop — the columnar analogue of a
+        truncated JSONL line.
+        """
+        try:
+            segment = ColumnarSegment(path)
+        except (OSError, ColumnarError):
+            self.quarantined_segments += 1
+            return
+        old = self._columnar.pop(shard, None)
+        if old is not None:  # pragma: no cover - one .colseg per shard
+            old.close()
+        self._columnar[shard] = segment
+        keys = segment.keys_list()
+        if rebuild:
+            for row, key in enumerate(keys):
+                self._record(key, shard, row, -1)
+        else:
+            base = len(self._keys)
+            self._slot.update(zip(keys, range(base, base + len(keys))))
+            self._keys.extend(keys)
+            self._offs.extend(range(len(keys)))
+            self._lens.extend([-1] * len(keys))
+            self._shard_at.extend([shard] * len(keys))
 
     def _scan_segment(self, shard: str, path: Union[str, os.PathLike], start: int) -> None:
         """Parse segment lines in ``[start, EOF)``, recording winning spans."""
@@ -331,9 +401,13 @@ class ResultStore:
         self.skipped_lines = 0
         self.stale_lines = 0
         self.scanned_lines = 0
+        self.quarantined_segments = 0
         for handle in self._readers.values():
             handle.close()
         self._readers.clear()
+        for segment in self._columnar.values():
+            segment.close()
+        self._columnar.clear()
 
     def _reload(self) -> None:
         """Re-derive the in-memory view from the JSONL ground truth."""
@@ -361,6 +435,14 @@ class ResultStore:
         return handle
 
     def _read_span(self, slot: int, key: str) -> Dict[str, Any]:
+        if self._lens[slot] == -1:
+            segment = self._columnar.get(self._shard_at[slot])
+            if segment is None:
+                raise ValueError(f"missing columnar segment for key {key}")
+            doc = segment.doc(self._offs[slot])
+            if doc.get("key") != key:
+                raise ValueError(f"stale columnar row for key {key}")
+            return doc
         handle = self._reader(self._shard_at[slot])
         handle.seek(self._offs[slot])
         doc = json.loads(handle.read(self._lens[slot]))
@@ -419,10 +501,46 @@ class ResultStore:
     def rows(self) -> ResultSet:
         """Every stored row as a columnar ResultSet, in first-appended order.
 
-        Rows are streamed from disk into the columnar buffers — the JSON
-        documents are never all resident at once.
+        Against a JSONL-only store the rows are streamed from disk into the
+        columnar buffers — the JSON documents are never all resident at once.
+        When columnar segments are present the returned set is *lazy*: a
+        gather source maps each row to (segment, local row) and a column is
+        only read — straight from the segments' mmapped blocks — when a query
+        touches it, so aggregating one column of a million-row store loads
+        bytes proportional to that column.
         """
-        return ResultSet.from_dicts(doc["row"] for doc in self.iter_docs())
+        if not self._columnar:
+            return ResultSet.from_dicts(doc["row"] for doc in self.iter_docs())
+        sources: List[Any] = []
+        source_of_shard: Dict[str, int] = {}
+        source_ids: List[int] = []
+        local_rows: List[int] = []
+        jsonl_rows: List[RunMetrics] = []
+        for key in list(self._keys):
+            slot = self._slot.get(key)
+            if slot is None:  # pragma: no cover - keys/_slot kept in sync
+                continue
+            if self._lens[slot] == -1:
+                shard = self._shard_at[slot]
+                sid = source_of_shard.get(shard)
+                if sid is None:
+                    sid = source_of_shard[shard] = len(sources)
+                    sources.append(self._columnar[shard])
+                source_ids.append(sid)
+                local_rows.append(self._offs[slot])
+            else:
+                doc = self._load_doc(key)
+                if doc is None:
+                    continue
+                source_ids.append(-1)
+                local_rows.append(len(jsonl_rows))
+                jsonl_rows.append(_row_dict_to_metrics(doc["row"]))
+        ids = np.asarray(source_ids, dtype=np.intp)
+        if jsonl_rows:
+            ids[ids == -1] = len(sources)
+            sources.append(_EagerSource(jsonl_rows))
+        return ResultSet._from_source(_GatherSource(
+            sources, ids, np.asarray(local_rows, dtype=np.intp)))
 
     def iter_items(self) -> Iterator[tuple]:
         """Iterate ``(key, RunMetrics)`` pairs in first-appended order, lazily."""
@@ -434,16 +552,41 @@ class ResultStore:
 
         ``scanned_lines`` is the number of JSONL lines the open had to parse;
         0 means every segment was served entirely by its sidecar index.
+        ``formats`` breaks segment and byte counts down per storage format
+        (classified by file magic, like reads); ``segments`` stays the total.
+        ``quarantined_segments`` counts columnar segments that failed
+        validation on load (torn tail, foreign schema) and were set aside.
         """
         segments = self.root / _SEGMENTS_DIR
+        formats = {
+            "jsonl": {"segments": 0, "bytes": 0},
+            "columnar": {"segments": 0, "bytes": 0},
+        }
+        if segments.is_dir():
+            for path in segments.iterdir():
+                if not path.is_file() or not (
+                    path.name.endswith(".jsonl")
+                    or path.name.endswith(COLUMNAR_SUFFIX)
+                ):
+                    continue
+                try:
+                    size = path.stat().st_size
+                except OSError:  # pragma: no cover - racing deletion
+                    continue
+                kind = ("columnar" if read_file_magic(path) == COLUMNAR_MAGIC
+                        else "jsonl")
+                formats[kind]["segments"] += 1
+                formats[kind]["bytes"] += size
         return {
             "path": str(self.root),
             "rows": len(self._slot),
-            "segments": len(list(segments.glob("*.jsonl"))) if segments.is_dir() else 0,
+            "segments": formats["jsonl"]["segments"] + formats["columnar"]["segments"],
+            "formats": formats,
             "schema_version": self.schema_version,
             "skipped_lines": self.skipped_lines,
             "stale_lines": self.stale_lines,
             "scanned_lines": self.scanned_lines,
+            "quarantined_segments": self.quarantined_segments,
         }
 
     # ------------------------------------------------------------------ #
@@ -570,7 +713,10 @@ class ResultStore:
                 if covered < size:
                     self._scan_segment(shard, path, covered)
                     self._covered[shard] = size
-                slots = [s for s, sh in enumerate(self._shard_at) if sh == shard]
+                # Columnar slots (_lens == -1) live outside the JSONL file
+                # and must never leak into its sidecar spans.
+                slots = [s for s, sh in enumerate(self._shard_at)
+                         if sh == shard and self._lens[s] >= 0]
                 write_segment_index(path, SegmentIndex(
                     segment_bytes=size,
                     schema=SCHEMA_VERSION,
@@ -587,18 +733,21 @@ class ResultStore:
                 os.close(fd)
         self._dirty.clear()
 
-    def compact(self) -> Dict[str, Any]:
+    def compact(self, *, format: str = "jsonl") -> Dict[str, Any]:
         """Compact every segment in place and reload; returns the stats dict.
 
         See :func:`repro.store.compact.compact_store` — duplicate keys,
         retired-schema lines and junk (torn-tail) lines are dropped, segments
-        are rewritten atomically, and sidecar indexes are refreshed.  The
-        in-memory view is reloaded from the compacted segments, so the store
-        stays fully usable (reads and writes) afterwards.
+        are rewritten atomically, and sidecar indexes are refreshed.
+        ``format="columnar"`` rewrites each shard's winners into a binary
+        columnar segment (appends continue to land in JSONL beside it);
+        ``format="jsonl"`` expands any columnar segments back to plain JSONL.
+        The in-memory view is reloaded from the compacted segments, so the
+        store stays fully usable (reads and writes) afterwards.
         """
         from .compact import compact_store
 
-        stats = compact_store(self.root)
+        stats = compact_store(self.root, format=format)
         self._reset_memory()
         self._load(rebuild_index=False)
         return stats

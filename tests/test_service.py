@@ -320,6 +320,88 @@ class TestQueries:
                 assert client.store_rows == 0
                 assert len(client.query()) == 0
 
+    def test_status_error_matches_the_whole_error_class(self, tmp_path):
+        # Regression: the query status filter used exact equality, so
+        # --status error could never match a stored error:ValueError row.
+        from dataclasses import replace
+
+        with ServiceHarness(tmp_path / "svc", workers=2) as svc:
+            with ServiceClient(svc.address) as client:
+                client.submit(CFG)
+        with ResultStore(tmp_path / "svc") as store:
+            template = store.rows()[0]
+            for i, tag in enumerate(["error:ValueError", "error:TypeError"]):
+                store.put(f"{i:02d}{'ee' * 31}", replace(template, status=tag))
+        with ServiceHarness(tmp_path / "svc", workers=0) as svc:
+            with ServiceClient(svc.address) as client:
+                errors = client.query(status="error")
+                exact = client.query(status="error:ValueError")
+                ok = client.query(status="ok")
+        assert sorted(errors.column("status").tolist()) == [
+            "error:TypeError", "error:ValueError"]
+        # Full tags and "ok" still match exactly; "error" never matches ok.
+        assert exact.column("status").tolist() == ["error:ValueError"]
+        assert len(ok) == TOTAL
+        assert all(r.status == "ok" for r in ok)
+
+
+# --------------------------------------------------------------------------- #
+# aggregates: server-side groupby answered from store columns
+# --------------------------------------------------------------------------- #
+class TestAggregates:
+    def test_aggregate_matches_local_eager_answer(self, tmp_path):
+        from repro.analysis.stream import aggregate_result_set
+
+        with ServiceHarness(tmp_path / "svc", workers=2) as svc:
+            with ServiceClient(svc.address) as client:
+                rows = client.submit(CFG)
+                groups = client.aggregate("rounds", by=["scheme", "n"])
+                summary = client.last_summary
+        local = aggregate_result_set(rows, "completion_round", ("scheme", "n"))
+        assert groups == local
+        assert summary == {"rows_seen": TOTAL, "groups": len(local)}
+        assert {(g["by"]["scheme"], g["by"]["n"]) for g in groups} == {
+            (scheme, n) for scheme in CFG.schemes for n in CFG.sizes}
+
+    def test_aggregate_filters_and_ci(self, tmp_path):
+        with ServiceHarness(tmp_path / "svc", workers=2) as svc:
+            with ServiceClient(svc.address) as client:
+                client.submit(CFG)
+                lam = client.aggregate("completion_round",
+                                       schemes=["lambda"], ci=True)
+        assert len(lam) == 1
+        stats = lam[0]["stats"]
+        assert stats["count"] == TOTAL // 2
+        assert stats["ci95_low"] <= stats["mean"] <= stats["ci95_high"]
+        assert stats["p05"] <= stats["median"] <= stats["p95"]
+
+    def test_aggregate_against_columnar_store_and_unknown_column(self, tmp_path):
+        # Warm the store, compact it columnar, then serve aggregates from the
+        # column blocks: same numbers as the eager JSONL answer.
+        from repro.store import ResultStore
+
+        with ServiceHarness(tmp_path / "svc", workers=2) as svc:
+            with ServiceClient(svc.address) as client:
+                client.submit(CFG)
+                jsonl_answer = client.aggregate("rounds", by=["scheme"])
+        with ResultStore(tmp_path / "svc") as store:
+            stats = store.compact(format="columnar")
+            assert stats["format"] == "columnar"
+        with ServiceHarness(tmp_path / "svc", workers=0) as svc:
+            with ServiceClient(svc.address) as client:
+                columnar_answer = client.aggregate("rounds", by=["scheme"])
+                with pytest.raises(ServiceError, match="invalid aggregate"):
+                    client.aggregate("no_such_column")
+                # The connection survives a rejected aggregate.
+                assert client.ping()
+        # Group order follows row order, which differs between a live store
+        # (insertion order) and a reopened one (shard order) — the per-group
+        # statistics must match exactly either way.
+        def by_scheme(groups):
+            return sorted(groups, key=lambda g: g["by"]["scheme"])
+
+        assert by_scheme(columnar_answer) == by_scheme(jsonl_answer)
+
 
 # --------------------------------------------------------------------------- #
 # connection plumbing

@@ -49,6 +49,12 @@ FRAMES = [
     {"type": "error", "message": "boom", "index": 3, "key": "cd" * 32},
     {"type": "done", "total": 8, "cached": 3, "computed": 5, "failed": 0},
     {"type": "query", "schemes": ["lambda"], "status": "ok"},
+    {"type": "aggregate", "column": "completion_round", "by": ["scheme", "n"],
+     "status": "ok", "ci": False},
+    {"type": "aggregate_result", "column": "completion_round",
+     "by": ["scheme", "n"], "rows_seen": 8,
+     "groups": [{"by": {"scheme": "lambda", "n": 16},
+                 "stats": {"count": 4, "mean": 10.5}}]},
     {"type": "ping"},
     {"type": "pong"},
     {"type": "bye"},

@@ -504,9 +504,15 @@ class TestResultSetEdgeCases:
             grouped = rows.groupby("scheme", "family")
             sub = grouped[("lambda", "path")]
             sub_agg = sub.aggregate("bound")
-        assert agg == {"mean": agg["mean"], "min": agg["min"],
-                       "max": agg["max"], "count": 0}
+        assert set(agg) == {"count", "mean", "std", "min", "p05", "median",
+                            "p95", "max"}
+        assert agg["count"] == 0
+        # An all-masked optional column aggregates to NaN across every
+        # statistic — percentiles included — instead of raising on an empty
+        # percentile input.
+        assert all(np.isnan(agg[stat]) for stat in agg if stat != "count")
         assert np.isnan(agg["mean"]) and np.isnan(sub_agg["max"])
+        assert np.isnan(sub_agg["p95"]) and np.isnan(sub_agg["std"])
         assert len(sub) == 3
         # filter on a None-valued optional column selects via the mask.
         assert len(rows.filter(completion_round=None)) == 3
